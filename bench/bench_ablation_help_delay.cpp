@@ -1,0 +1,41 @@
+// Ablation A2 — HELP_DELAY: every thread checks one peer for a pending
+// help request each HELP_DELAY operations (§3.1 "to amortize the cost
+// of help_threads"). Smaller values react to stuck threads faster but
+// tax the fast path; this sweep quantifies the trade.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  using namespace wcq::bench;
+  const unsigned threads = default_threads().back();
+  const std::uint64_t ops = default_ops();
+  const unsigned runs = default_runs();
+
+  harness::SeriesTable tput("Ablation A2: wCQ throughput vs HELP_DELAY",
+                            "help_delay", "Mops/sec");
+
+  for (unsigned delay : {1u, 4u, 16u, 64u, 256u}) {
+    harness::AdapterConfig cfg;
+    cfg.max_threads = threads + 2;
+    cfg.help_delay = delay;
+    std::unique_ptr<harness::WcqAdapter> adapter;
+    const std::uint64_t per_thread = ops / threads;
+    auto workload = pairwise_workload<harness::WcqAdapter>();
+    auto setup = [&] { adapter = std::make_unique<harness::WcqAdapter>(cfg); };
+    auto body = [&](unsigned worker) {
+      auto handle = adapter->make_handle();
+      Xoshiro256 rng(0xdefu + worker);
+      workload(*adapter, handle, rng, per_thread);
+    };
+    const auto res = harness::repeat_measure(runs, threads,
+                                             per_thread * threads, setup,
+                                             body);
+    tput.set("pairwise", delay, res.mean_mops);
+    std::fprintf(stderr, "  help_delay=%u: %.2f Mops\n", delay,
+                 res.mean_mops);
+  }
+  emit(tput, argc, argv);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A3 — Cache_Remap (§2): the position permutation that puts
+// adjacent ring slots on different cache lines. With it disabled,
+// consecutive Head/Tail positions contend for the same line and
+// throughput should drop under concurrency, for both wCQ and SCQ.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace wcq::bench {
+namespace {
+
+template <typename Adapter>
+void remap_series(harness::SeriesTable& table,
+                  const std::vector<unsigned>& sweep, std::uint64_t ops,
+                  unsigned runs, bool remap) {
+  auto workload = pairwise_workload<Adapter>();
+  const std::string series =
+      std::string(Adapter::kName) + (remap ? "+remap" : "-remap");
+  for (unsigned threads : sweep) {
+    harness::AdapterConfig cfg;
+    cfg.max_threads = threads + 2;
+    cfg.remap = remap;
+    std::unique_ptr<Adapter> adapter;
+    const std::uint64_t per_thread = ops / threads;
+    auto setup = [&] { adapter = std::make_unique<Adapter>(cfg); };
+    auto body = [&](unsigned worker) {
+      auto handle = adapter->make_handle();
+      Xoshiro256 rng(0x777u + worker);
+      workload(*adapter, handle, rng, per_thread);
+    };
+    const auto res = harness::repeat_measure(runs, threads,
+                                             per_thread * threads, setup,
+                                             body);
+    table.set(series, threads, res.mean_mops);
+    std::fprintf(stderr, "  %s @%u: %.2f Mops\n", series.c_str(), threads,
+                 res.mean_mops);
+  }
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  using namespace wcq::bench;
+  harness::SeriesTable table("Ablation A3: Cache_Remap on/off (pairwise)",
+                             "threads", "Mops/sec");
+  const auto sweep = default_threads();
+  const std::uint64_t ops = default_ops();
+  const unsigned runs = default_runs();
+  remap_series<harness::WcqAdapter>(table, sweep, ops, runs, true);
+  remap_series<harness::WcqAdapter>(table, sweep, ops, runs, false);
+  remap_series<harness::ScqAdapter>(table, sweep, ops, runs, true);
+  remap_series<harness::ScqAdapter>(table, sweep, ops, runs, false);
+  emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Shared benchmark scaffolding: run one workload across the paper's
+// queue lineup and thread sweep, print a figure-shaped table (+ CSV
+// with --csv).
+//
+// Defaults are sized for small machines; the paper's exact methodology
+// (10,000,000 ops x 10 runs, threads up to 144) is reproduced by
+// setting WCQ_BENCH_OPS=10000000 WCQ_BENCH_RUNS=10 and
+// WCQ_BENCH_THREADS=1,2,4,8,18,36,72,144 in the environment.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "harness/driver.hpp"
+#include "harness/queue_adapters.hpp"
+#include "harness/reporting.hpp"
+
+namespace wcq::bench {
+
+inline std::uint64_t default_ops() {
+  if (const char* v = std::getenv("WCQ_BENCH_OPS"); v && *v) {
+    return std::strtoull(v, nullptr, 10);
+  }
+  return 1'000'000;  // paper: 10'000'000
+}
+
+inline unsigned default_runs() {
+  if (const char* v = std::getenv("WCQ_BENCH_RUNS"); v && *v) {
+    return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+  }
+  return 3;  // paper: 10
+}
+
+inline std::vector<unsigned> default_threads() {
+  if (std::getenv("WCQ_BENCH_THREADS")) {
+    return harness::sweep_thread_counts();
+  }
+  return {1, 2, 4, 8};  // paper: 1,2,4,8,18,36,72,144
+}
+
+// Per-thread benchmark body: given (adapter, handle, rng, ops) perform
+// `ops` queue operations.
+template <typename Adapter>
+using Workload = std::function<void(Adapter&, typename Adapter::Handle&,
+                                    Xoshiro256&, std::uint64_t)>;
+
+// Measure one queue type over the thread sweep; adds one series.
+template <typename Adapter>
+void run_series(harness::SeriesTable& table,
+                const Workload<Adapter>& workload,
+                const std::vector<unsigned>& threads_sweep,
+                std::uint64_t total_ops, unsigned runs) {
+  for (unsigned threads : threads_sweep) {
+    harness::AdapterConfig cfg;
+    cfg.max_threads = threads + 2;
+    std::unique_ptr<Adapter> adapter;
+    const std::uint64_t ops_per_thread = total_ops / threads;
+    auto setup = [&] { adapter = std::make_unique<Adapter>(cfg); };
+    auto body = [&](unsigned worker) {
+      auto handle = adapter->make_handle();
+      Xoshiro256 rng(0x1234u + worker * 7919u);
+      workload(*adapter, handle, rng, ops_per_thread);
+    };
+    const auto res = harness::repeat_measure(runs, threads,
+                                             ops_per_thread * threads,
+                                             setup, body);
+    table.set(Adapter::kName, threads, res.mean_mops);
+    std::cerr << "  " << Adapter::kName << " @" << threads << ": "
+              << res.mean_mops << " Mops/s (cv " << res.cv << ")\n";
+  }
+}
+
+// The paper's full lineup, in its legend order.
+template <typename MakeWorkload>
+void run_all_queues(harness::SeriesTable& table, MakeWorkload make,
+                    const std::vector<unsigned>& threads,
+                    std::uint64_t total_ops, unsigned runs) {
+  run_series<harness::FaaAdapter>(table, make.template operator()<harness::FaaAdapter>(),
+                                  threads, total_ops, runs);
+  run_series<harness::WcqAdapter>(table, make.template operator()<harness::WcqAdapter>(),
+                                  threads, total_ops, runs);
+  run_series<harness::YmcAdapter>(table, make.template operator()<harness::YmcAdapter>(),
+                                  threads, total_ops, runs);
+  run_series<harness::CcqAdapter>(table, make.template operator()<harness::CcqAdapter>(),
+                                  threads, total_ops, runs);
+  run_series<harness::ScqAdapter>(table, make.template operator()<harness::ScqAdapter>(),
+                                  threads, total_ops, runs);
+  run_series<harness::CrTurnAdapter>(
+      table, make.template operator()<harness::CrTurnAdapter>(), threads,
+      total_ops, runs);
+  run_series<harness::MsqAdapter>(table, make.template operator()<harness::MsqAdapter>(),
+                                  threads, total_ops, runs);
+  run_series<harness::LcrqAdapter>(table, make.template operator()<harness::LcrqAdapter>(),
+                                   threads, total_ops, runs);
+}
+
+// ---- the three workloads of Figures 11/12 ----
+
+// (a) Dequeue in a tight loop on an always-empty queue.
+template <typename Adapter>
+Workload<Adapter> empty_dequeue_workload() {
+  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256&,
+            std::uint64_t ops) {
+    std::uint64_t v;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      (void)q.dequeue(&v, h);
+    }
+  };
+}
+
+// (b) Pairwise: Enqueue immediately followed by Dequeue.
+template <typename Adapter>
+Workload<Adapter> pairwise_workload() {
+  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256&,
+            std::uint64_t ops) {
+    std::uint64_t v;
+    for (std::uint64_t i = 0; i < ops / 2; ++i) {
+      while (!q.enqueue(i & 0xffff, h)) {
+      }
+      (void)q.dequeue(&v, h);
+    }
+  };
+}
+
+// (c) 50%/50% random mix.
+template <typename Adapter>
+Workload<Adapter> mixed_workload() {
+  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256& rng,
+            std::uint64_t ops) {
+    std::uint64_t v;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      if (rng.chance_pct(50)) {
+        while (!q.enqueue(i & 0xffff, h)) {
+          if (!q.dequeue(&v, h)) break;  // bounded queue full: make room
+        }
+      } else {
+        (void)q.dequeue(&v, h);
+      }
+    }
+  };
+}
+
+// Memory test workload (Figure 10): random mix with tiny random delays
+// between operations, which the paper found amplifies memory artifacts.
+template <typename Adapter>
+Workload<Adapter> memory_test_workload() {
+  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256& rng,
+            std::uint64_t ops) {
+    std::uint64_t v;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      if (rng.chance_pct(50)) {
+        while (!q.enqueue(i & 0xffff, h)) {
+          if (!q.dequeue(&v, h)) break;
+        }
+      } else {
+        (void)q.dequeue(&v, h);
+      }
+      spin_delay(rng.next_below(32));
+    }
+  };
+}
+
+inline void emit(const harness::SeriesTable& table, int argc, char** argv) {
+  table.print(std::cout);
+  if (harness::want_csv(argc, argv)) {
+    std::cout << "\n";
+    table.print_csv(std::cout);
+  }
+}
+
+}  // namespace wcq::bench

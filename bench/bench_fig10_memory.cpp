@@ -1,0 +1,77 @@
+// Figure 10 — the memory test: (a) memory consumed, (b) throughput.
+// 50%/50% random operations with tiny random delays (the paper found
+// the delays amplify memory-efficiency artifacts). Every queue routes
+// its allocations through the counting allocator, so "memory consumed"
+// is the peak live bytes the algorithm requested: LCRQ's closed-ring
+// churn grows fast, YMC's segments grow slower, wCQ/SCQ stay at their
+// statically allocated ring (~1-2 MB at the paper's 2^16-slot size).
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/mem_stats.hpp"
+
+namespace wcq::bench {
+namespace {
+
+template <typename Adapter>
+void memory_series(harness::SeriesTable& mem_table,
+                   harness::SeriesTable& tput_table,
+                   const std::vector<unsigned>& sweep,
+                   std::uint64_t total_ops, unsigned runs) {
+  auto workload = memory_test_workload<Adapter>();
+  for (unsigned threads : sweep) {
+    harness::AdapterConfig cfg;
+    cfg.max_threads = threads + 2;
+    std::unique_ptr<Adapter> adapter;
+    const std::uint64_t per_thread = total_ops / threads;
+    double peak_mb = 0.0;
+    auto setup = [&] {
+      adapter.reset();  // destroy previous instance first
+      mem::reset();
+      adapter = std::make_unique<Adapter>(cfg);
+    };
+    auto body = [&](unsigned worker) {
+      auto handle = adapter->make_handle();
+      Xoshiro256 rng(0x9999u + worker * 31337u);
+      workload(*adapter, handle, rng, per_thread);
+    };
+    const auto res =
+        harness::repeat_measure(runs, threads, per_thread * threads, setup,
+                                body);
+    peak_mb = static_cast<double>(mem::stats().peak_bytes) / (1024.0 * 1024.0);
+    mem_table.set(Adapter::kName, threads, peak_mb);
+    tput_table.set(Adapter::kName, threads, res.mean_mops);
+    std::cerr << "  " << Adapter::kName << " @" << threads << ": " << peak_mb
+              << " MB peak, " << res.mean_mops << " Mops/s\n";
+  }
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  using namespace wcq::bench;
+  harness::SeriesTable mem_table("Figure 10a: memory usage", "threads",
+                                 "MB peak");
+  harness::SeriesTable tput_table("Figure 10b: memory-test throughput",
+                                  "threads", "Mops/sec");
+  const auto sweep = default_threads();
+  // The delay-laden workload is slower per op; trim the default.
+  const std::uint64_t ops = default_ops() / 4;
+  const unsigned runs = default_runs();
+
+  memory_series<harness::FaaAdapter>(mem_table, tput_table, sweep, ops, runs);
+  memory_series<harness::WcqAdapter>(mem_table, tput_table, sweep, ops, runs);
+  memory_series<harness::YmcAdapter>(mem_table, tput_table, sweep, ops, runs);
+  memory_series<harness::CcqAdapter>(mem_table, tput_table, sweep, ops, runs);
+  memory_series<harness::ScqAdapter>(mem_table, tput_table, sweep, ops, runs);
+  memory_series<harness::CrTurnAdapter>(mem_table, tput_table, sweep, ops,
+                                        runs);
+  memory_series<harness::MsqAdapter>(mem_table, tput_table, sweep, ops, runs);
+  memory_series<harness::LcrqAdapter>(mem_table, tput_table, sweep, ops, runs);
+
+  emit(mem_table, argc, argv);
+  emit(tput_table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 11a — empty-dequeue throughput, x86-64.
+// Dequeue in a tight loop on an always-empty queue. wCQ and SCQ lead
+// in the paper thanks to the Threshold fast exit; FAA does poorly
+// because it still pays an RMW per call.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  harness::SeriesTable table("Figure 11a: empty Dequeue throughput",
+                             "threads", "Mops/sec");
+  auto make = []<typename A>() { return bench::empty_dequeue_workload<A>(); };
+  bench::run_all_queues(table, make, bench::default_threads(),
+                        bench::default_ops(), bench::default_runs());
+  bench::emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 11b — pairwise Enqueue-Dequeue throughput, x86-64.
+// Each thread alternates Enqueue and Dequeue in a tight loop. The
+// paper shows wCQ ≈ SCQ ≈ LCRQ on top, YMC and the rest below.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  harness::SeriesTable table("Figure 11b: pairwise Enqueue-Dequeue",
+                             "threads", "Mops/sec");
+  auto make = []<typename A>() { return bench::pairwise_workload<A>(); };
+  bench::run_all_queues(table, make, bench::default_threads(),
+                        bench::default_ops(), bench::default_runs());
+  bench::emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 11c — 50%/50% random Enqueue/Dequeue throughput, x86-64.
+// The paper shows wCQ ≈ SCQ ≈ YMC, with wCQ slightly ahead of SCQ
+// (larger entries reduce contention), LCRQ typically on top, the
+// CAS-based queues far below.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  harness::SeriesTable table("Figure 11c: 50%/50% Enqueue-Dequeue",
+                             "threads", "Mops/sec");
+  auto make = []<typename A>() { return bench::mixed_workload<A>(); };
+  bench::run_all_queues(table, make, bench::default_threads(),
+                        bench::default_ops(), bench::default_runs());
+  bench::emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro benchmarks (google-benchmark): uncontended single-op costs of
+// every queue — the floor each design pays before scalability enters.
+// Complements the figure benches, which measure contended throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "harness/queue_adapters.hpp"
+
+namespace {
+
+using wcq::harness::AdapterConfig;
+
+template <typename Adapter>
+void BM_pairwise(benchmark::State& state) {
+  AdapterConfig cfg;
+  cfg.max_threads = 2;
+  cfg.bounded_order = 12;
+  Adapter adapter(cfg);
+  auto handle = adapter.make_handle();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    while (!adapter.enqueue(7, handle)) {
+    }
+    benchmark::DoNotOptimize(adapter.dequeue(&v, handle));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+template <typename Adapter>
+void BM_empty_dequeue(benchmark::State& state) {
+  AdapterConfig cfg;
+  cfg.max_threads = 2;
+  cfg.bounded_order = 12;
+  Adapter adapter(cfg);
+  auto handle = adapter.make_handle();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapter.dequeue(&v, handle));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Adapter>
+void BM_enqueue_burst(benchmark::State& state) {
+  // 256 enqueues then 256 dequeues per iteration: the queue actually
+  // holds elements, unlike the pairwise ping-pong.
+  AdapterConfig cfg;
+  cfg.max_threads = 2;
+  cfg.bounded_order = 12;
+  Adapter adapter(cfg);
+  auto handle = adapter.make_handle();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      while (!adapter.enqueue(static_cast<std::uint64_t>(i), handle)) {
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(adapter.dequeue(&v, handle));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+
+}  // namespace
+
+#define WCQ_MICRO(Adapter)                                      \
+  BENCHMARK_TEMPLATE(BM_pairwise, wcq::harness::Adapter);       \
+  BENCHMARK_TEMPLATE(BM_empty_dequeue, wcq::harness::Adapter);  \
+  BENCHMARK_TEMPLATE(BM_enqueue_burst, wcq::harness::Adapter)
+
+WCQ_MICRO(WcqAdapter);
+WCQ_MICRO(WcqPortableAdapter);
+WCQ_MICRO(ScqAdapter);
+WCQ_MICRO(LcrqAdapter);
+WCQ_MICRO(YmcAdapter);
+WCQ_MICRO(MsqAdapter);
+WCQ_MICRO(CcqAdapter);
+WCQ_MICRO(CrTurnAdapter);
+WCQ_MICRO(FaaAdapter);
+WCQ_MICRO(LscqAdapter);
+WCQ_MICRO(UwcqAdapter);
+
+BENCHMARK_MAIN();
