@@ -1,0 +1,36 @@
+// Low-level shared bits: cache-line constants, cpu_pause, yield helper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace wcq::detail {
+
+// One line for data, two for the false-sharing guard most allocators
+// and the Folly/Abseil crowd use on modern Intel (spatial prefetcher).
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kNoFalseSharing = 128;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Returns the number of index bits needed for `x` (x must be a power
+// of two).
+inline constexpr unsigned log2_pow2(std::uint64_t x) {
+  unsigned r = 0;
+  while ((std::uint64_t{1} << r) < x) ++r;
+  return r;
+}
+
+}  // namespace wcq::detail

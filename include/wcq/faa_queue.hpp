@@ -1,0 +1,158 @@
+// FAA baseline: the unbounded fetch-and-add array queue (the "FAA"
+// series of the paper's figures and the skeleton under LCRQ/YMC-style
+// designs). Enqueue FAAs a tail counter and CASes its slot from EMPTY
+// to the value; dequeue FAAs head and XCHGs the slot with TAKEN.
+// Storage is a linked list of fixed-size segments allocated through
+// the counting allocator and only reclaimed at destruction — the
+// unbounded memory footprint is exactly what Figure 10 contrasts
+// against wCQ/SCQ's static rings.
+//
+// Values ~0 and ~0-1 are reserved as sentinels.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+
+#include "wcq/detail.hpp"
+#include "wcq/mem.hpp"
+
+namespace wcq {
+
+class FaaQueue {
+ public:
+  struct Config {
+    unsigned seg_order = 10;  // 1024 slots per segment
+  };
+
+  static constexpr std::uint64_t kEmptyCell = ~std::uint64_t{0};
+  static constexpr std::uint64_t kTakenCell = ~std::uint64_t{0} - 1;
+
+  explicit FaaQueue(const Config& cfg)
+      : seg_order_(cfg.seg_order),
+        seg_slots_(std::uint64_t{1} << cfg.seg_order) {
+    first_ = new_segment(0);
+    head_seg_.store(first_, std::memory_order_relaxed);
+    tail_seg_.store(first_, std::memory_order_relaxed);
+  }
+
+  ~FaaQueue() {
+    Segment* s = first_;
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      free_segment(s);
+      s = next;
+    }
+  }
+
+  FaaQueue(const FaaQueue&) = delete;
+  FaaQueue& operator=(const FaaQueue&) = delete;
+
+  bool enqueue(std::uint64_t v) {
+    assert(v < kTakenCell && "sentinel values cannot be enqueued");
+    for (;;) {
+      const std::uint64_t t = tail_.fetch_add(1, std::memory_order_seq_cst);
+      Segment* s = find_segment(&tail_seg_, t >> seg_order_);
+      std::uint64_t expected = kEmptyCell;
+      if (s->slots()[t & (seg_slots_ - 1)].compare_exchange_strong(
+              expected, v, std::memory_order_release,
+              std::memory_order_relaxed)) {
+        return true;
+      }
+      // Slot was poisoned by a too-fast dequeuer; take a new ticket.
+    }
+  }
+
+  bool dequeue(std::uint64_t* v) {
+    for (;;) {
+      if (head_.load(std::memory_order_seq_cst) >=
+          tail_.load(std::memory_order_seq_cst)) {
+        return false;
+      }
+      const std::uint64_t h = head_.fetch_add(1, std::memory_order_seq_cst);
+      Segment* s = find_segment(&head_seg_, h >> seg_order_);
+      const std::uint64_t old = s->slots()[h & (seg_slots_ - 1)].exchange(
+          kTakenCell, std::memory_order_acq_rel);
+      if (old != kEmptyCell) {
+        *v = old;
+        return true;
+      }
+    }
+  }
+
+ private:
+  struct alignas(detail::kCacheLine) Segment {
+    std::uint64_t id = 0;
+    Segment* prev = nullptr;  // immutable after publication
+    std::atomic<Segment*> next{nullptr};
+    // seg_slots_ atomic slots live in trailing storage (see slots()).
+    std::atomic<std::uint64_t>* slots() {
+      return reinterpret_cast<std::atomic<std::uint64_t>*>(this + 1);
+    }
+  };
+
+  std::size_t segment_bytes() const {
+    return sizeof(Segment) + seg_slots_ * sizeof(std::atomic<std::uint64_t>);
+  }
+
+  Segment* new_segment(std::uint64_t id) {
+    void* raw = mem::alloc(segment_bytes());
+    Segment* s = new (raw) Segment();
+    s->id = id;
+    std::atomic<std::uint64_t>* slots = s->slots();
+    for (std::uint64_t i = 0; i < seg_slots_; ++i) {
+      new (&slots[i]) std::atomic<std::uint64_t>(kEmptyCell);
+    }
+    return s;
+  }
+
+  void free_segment(Segment* s) {
+    s->~Segment();
+    mem::free(s, segment_bytes());
+  }
+
+  Segment* find_segment(std::atomic<Segment*>* hint, std::uint64_t id) {
+    Segment* s = hint->load(std::memory_order_acquire);
+    // The shared hint can have advanced past a slow thread's target;
+    // walk back over the doubly-linked (never reclaimed) segments.
+    while (s->id > id) s = s->prev;
+    while (s->id < id) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        Segment* fresh = new_segment(s->id + 1);
+        fresh->prev = s;
+        Segment* expected = nullptr;
+        if (s->next.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+          next = fresh;
+        } else {
+          free_segment(fresh);  // lost the race; nobody saw ours
+          next = expected;
+        }
+      }
+      s = next;
+    }
+    // Advance the hint monotonically so later ops skip the walk. Both
+    // the load and the CAS failure path hand back a pointer we then
+    // dereference (cur->id), so they must acquire the segment's init.
+    Segment* cur = hint->load(std::memory_order_acquire);
+    while (cur->id < s->id &&
+           !hint->compare_exchange_weak(cur, s, std::memory_order_release,
+                                        std::memory_order_acquire)) {
+    }
+    return s;
+  }
+
+  const unsigned seg_order_;
+  const std::uint64_t seg_slots_;
+
+  alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> head_{0};
+  alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> tail_{0};
+  alignas(detail::kNoFalseSharing) std::atomic<Segment*> head_seg_{nullptr};
+  alignas(detail::kNoFalseSharing) std::atomic<Segment*> tail_seg_{nullptr};
+  Segment* first_ = nullptr;  // list anchor, freed in the destructor
+};
+
+}  // namespace wcq

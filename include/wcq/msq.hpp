@@ -1,0 +1,125 @@
+// Michael-Scott queue (PODC 1996): the classic CAS-based linked-list
+// MPMC queue, the "MSQ" baseline series. Nodes are never reused during
+// a run — dequeued nodes go onto a retired stack freed only by the
+// destructor — which sidesteps ABA without tagged pointers or hazard
+// pointers at the cost of unbounded memory (visible in Figure 10,
+// which is the point of the comparison).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+#include "wcq/detail.hpp"
+#include "wcq/mem.hpp"
+
+namespace wcq {
+
+class MsqQueue {
+ public:
+  struct Config {};
+
+  explicit MsqQueue(const Config&) {
+    Node* dummy = new_node(0);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~MsqQueue() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      free_node(n);
+      n = next;
+    }
+    n = retired_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      free_node(n);
+      n = next;
+    }
+  }
+
+  MsqQueue(const MsqQueue&) = delete;
+  MsqQueue& operator=(const MsqQueue&) = delete;
+
+  bool enqueue(std::uint64_t v) {
+    Node* node = new_node(v);
+    for (;;) {
+      Node* t = tail_.load(std::memory_order_acquire);
+      Node* next = t->next.load(std::memory_order_acquire);
+      if (t != tail_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        Node* expected = nullptr;
+        if (t->next.compare_exchange_weak(expected, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+          tail_.compare_exchange_strong(t, node, std::memory_order_release,
+                                        std::memory_order_relaxed);
+          return true;
+        }
+      } else {
+        tail_.compare_exchange_strong(t, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool dequeue(std::uint64_t* v) {
+    for (;;) {
+      Node* h = head_.load(std::memory_order_acquire);
+      Node* t = tail_.load(std::memory_order_acquire);
+      Node* next = h->next.load(std::memory_order_acquire);
+      if (h != head_.load(std::memory_order_acquire)) continue;
+      if (h == t) {
+        if (next == nullptr) return false;
+        // Tail is lagging behind a half-finished enqueue; push it.
+        tail_.compare_exchange_strong(t, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      const std::uint64_t value = next->value;
+      if (head_.compare_exchange_weak(h, next, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        retire(h);
+        *v = value;
+        return true;
+      }
+    }
+  }
+
+ private:
+  struct alignas(detail::kCacheLine) Node {
+    std::atomic<Node*> next{nullptr};
+    std::uint64_t value = 0;
+  };
+
+  Node* new_node(std::uint64_t v) {
+    Node* n = new (mem::alloc(sizeof(Node), alignof(Node))) Node();
+    n->value = v;
+    return n;
+  }
+
+  void free_node(Node* n) {
+    n->~Node();
+    mem::free(n, sizeof(Node), alignof(Node));
+  }
+
+  // Unlinked heads may still be examined by stalled dequeuers (their
+  // head re-check then fails), so reusing `next` as the retired-stack
+  // link is safe: the stale pointer is read but never followed.
+  void retire(Node* n) {
+    Node* top = retired_.load(std::memory_order_relaxed);
+    do {
+      n->next.store(top, std::memory_order_relaxed);
+    } while (!retired_.compare_exchange_weak(top, n,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+
+  alignas(detail::kNoFalseSharing) std::atomic<Node*> head_{nullptr};
+  alignas(detail::kNoFalseSharing) std::atomic<Node*> tail_{nullptr};
+  alignas(detail::kNoFalseSharing) std::atomic<Node*> retired_{nullptr};
+};
+
+}  // namespace wcq

@@ -1,0 +1,214 @@
+// The SCQ ring (Nikolaev, DISC 2019) that wCQ extends: a lock-free
+// bounded FIFO of small indices. A ring of 2n 64-bit entries backs a
+// queue of capacity n; Head/Tail are FAA'd position counters whose
+// quotient by the ring size is the entry's expected "cycle". The
+// `threshold` counter gives dequeuers a constant-time empty exit, and
+// Cache_Remap spreads consecutive positions across cache lines.
+//
+// Entry layout (64 bits):   [ cycle | is_safe (1 bit) | index ]
+// where index occupies order+1 bits and all-ones means "empty" (BOT).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "wcq/detail.hpp"
+#include "wcq/mem.hpp"
+
+namespace wcq {
+
+class ScqRing {
+ public:
+  enum Result : int {
+    kOk = 0,
+    kEmpty = 1,      // definitive: queue observed empty (threshold spent)
+    kContended = 2,  // patience exhausted; retry or go to a slow path
+  };
+
+  static constexpr std::uint64_t kUnbounded = ~std::uint64_t{0};
+
+  // Capacity is 2^order indices; the ring itself has 2^(order+1)
+  // entries. `remap` toggles Cache_Remap; `portable_consume` replaces
+  // the fetch_or consume with a CAS loop, mimicking the LL/SC-friendly
+  // portable build of the paper's Section 4.
+  ScqRing(unsigned order, bool remap, bool portable_consume)
+      : order_(order),
+        n_(std::uint64_t{1} << order),
+        ring_size_(n_ * 2),
+        idx_bits_(order + 1),
+        idx_mask_((std::uint64_t{1} << (order + 1)) - 1),
+        threshold_init_(static_cast<std::int64_t>(ring_size_ + n_ - 1)),
+        remap_(remap && order + 1 > kLineBits),
+        portable_consume_(portable_consume) {
+    entries_ = static_cast<std::atomic<std::uint64_t>*>(
+        mem::alloc(ring_size_ * sizeof(std::atomic<std::uint64_t>)));
+    for (std::uint64_t j = 0; j < ring_size_; ++j) {
+      entries_[j].store(pack(0, true, kBot()), std::memory_order_relaxed);
+    }
+    // Start positions at ring_size so live cycles begin at 1 and are
+    // always distinguishable from the zero-initialised entries.
+    head_.store(ring_size_, std::memory_order_relaxed);
+    tail_.store(ring_size_, std::memory_order_relaxed);
+    threshold_.store(-1, std::memory_order_relaxed);
+  }
+
+  ~ScqRing() {
+    mem::free(entries_, ring_size_ * sizeof(std::atomic<std::uint64_t>));
+  }
+
+  ScqRing(const ScqRing&) = delete;
+  ScqRing& operator=(const ScqRing&) = delete;
+
+  std::uint64_t capacity() const { return n_; }
+
+  // Enqueue an index in [0, capacity). As long as at most `capacity`
+  // indices are live the ring always has room, so the only non-kOk
+  // outcome is kContended when `max_iters` attempts are spent.
+  Result enqueue_idx(std::uint64_t eidx, std::uint64_t max_iters) {
+    for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+      const std::uint64_t t = tail_.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint64_t tcycle = cycle_of(t);
+      const std::uint64_t j = remap(t);
+      std::uint64_t e = entries_[j].load(std::memory_order_acquire);
+      for (;;) {
+        if (cycle_of_entry(e) < tcycle && idx_of_entry(e) == kBot() &&
+            (is_safe(e) || head_.load(std::memory_order_seq_cst) <= t)) {
+          const std::uint64_t fresh = pack(tcycle, true, eidx);
+          if (!entries_[j].compare_exchange_weak(e, fresh,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+            continue;  // entry changed under us; re-evaluate
+          }
+          if (threshold_.load(std::memory_order_seq_cst) != threshold_init_) {
+            threshold_.store(threshold_init_, std::memory_order_seq_cst);
+          }
+          return kOk;
+        }
+        break;  // position unusable, take the next one
+      }
+    }
+    return kContended;
+  }
+
+  // Dequeue an index. kEmpty is definitive (threshold exhausted or
+  // tail caught up); kContended means patience ran out first.
+  Result dequeue_idx(std::uint64_t* out, std::uint64_t max_iters) {
+    if (threshold_.load(std::memory_order_seq_cst) < 0) {
+      return kEmpty;  // the paper's fast empty exit (Figure 11a)
+    }
+    for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+      const std::uint64_t h = head_.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint64_t hcycle = cycle_of(h);
+      const std::uint64_t j = remap(h);
+      std::uint64_t e = entries_[j].load(std::memory_order_acquire);
+      bool advanced = false;
+      for (;;) {
+        const std::uint64_t ecycle = cycle_of_entry(e);
+        if (ecycle == hcycle) {
+          consume(j, e);
+          *out = idx_of_entry(e);
+          return kOk;
+        }
+        if (ecycle < hcycle) {
+          // Either advance an empty entry's cycle or mark a lagging
+          // value unsafe so a slow enqueuer cannot resurrect it.
+          const std::uint64_t fresh =
+              idx_of_entry(e) == kBot()
+                  ? pack(hcycle, is_safe(e), kBot())
+                  : pack(ecycle, false, idx_of_entry(e));
+          if (!entries_[j].compare_exchange_weak(e, fresh,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+            continue;
+          }
+        }
+        advanced = true;
+        break;
+      }
+      if (advanced) {
+        const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+        if (t <= h + 1) {
+          catchup(t, h + 1);
+          threshold_.fetch_sub(1, std::memory_order_seq_cst);
+          return kEmpty;
+        }
+        if (threshold_.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+          return kEmpty;
+        }
+      }
+    }
+    return kContended;
+  }
+
+ private:
+  static constexpr unsigned kLineBits =
+      detail::log2_pow2(detail::kCacheLine / sizeof(std::uint64_t));
+
+  std::uint64_t kBot() const { return idx_mask_; }
+
+  std::uint64_t pack(std::uint64_t cycle, bool safe, std::uint64_t idx) const {
+    return (cycle << (idx_bits_ + 1)) |
+           (static_cast<std::uint64_t>(safe) << idx_bits_) | idx;
+  }
+  std::uint64_t cycle_of(std::uint64_t pos) const {
+    return pos >> (order_ + 1);
+  }
+  std::uint64_t cycle_of_entry(std::uint64_t e) const {
+    return e >> (idx_bits_ + 1);
+  }
+  bool is_safe(std::uint64_t e) const {
+    return ((e >> idx_bits_) & 1u) != 0;
+  }
+  std::uint64_t idx_of_entry(std::uint64_t e) const { return e & idx_mask_; }
+
+  // Cache_Remap: permute positions so consecutive Head/Tail positions
+  // land on distinct cache lines (8 eight-byte entries per line).
+  std::uint64_t remap(std::uint64_t pos) const {
+    const std::uint64_t masked = pos & (ring_size_ - 1);
+    if (!remap_) return masked;
+    const unsigned order2 = order_ + 1;  // log2(ring_size_)
+    return ((masked >> (order2 - kLineBits)) |
+            (masked << kLineBits)) &
+           (ring_size_ - 1);
+  }
+
+  // Mark the entry consumed (index -> BOT) keeping cycle and safe bit.
+  void consume(std::uint64_t j, std::uint64_t seen) {
+    if (!portable_consume_) {
+      entries_[j].fetch_or(kBot(), std::memory_order_acq_rel);
+      return;
+    }
+    // Portable build: single-width CAS loop (LL/SC-emulation shape).
+    std::uint64_t e = seen;
+    while (!entries_[j].compare_exchange_weak(e, e | kBot(),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+    }
+  }
+
+  void catchup(std::uint64_t t, std::uint64_t h) {
+    while (!tail_.compare_exchange_weak(t, h, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+      h = head_.load(std::memory_order_seq_cst);
+      t = tail_.load(std::memory_order_seq_cst);
+      if (t >= h) break;
+    }
+  }
+
+  const unsigned order_;
+  const std::uint64_t n_;
+  const std::uint64_t ring_size_;
+  const unsigned idx_bits_;
+  const std::uint64_t idx_mask_;
+  const std::int64_t threshold_init_;
+  const bool remap_;
+  const bool portable_consume_;
+
+  alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> head_{0};
+  alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> tail_{0};
+  alignas(detail::kNoFalseSharing) std::atomic<std::int64_t> threshold_{-1};
+  alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t>* entries_ =
+      nullptr;
+};
+
+}  // namespace wcq

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Smoke-run every figure/ablation bench binary with small (env-tunable)
+# sizes and collect machine-readable results:
+#   <outdir>/BENCH_<name>.csv    — the bench's --csv table(s)
+#   <outdir>/BENCH_summary.json  — status + timing per bench
+#
+# Usage: scripts/run_benches.sh [build-dir] [out-dir]
+# Size knobs (defaults are CI-sized; the paper's methodology is
+# WCQ_BENCH_OPS=10000000 WCQ_BENCH_RUNS=10 WCQ_BENCH_THREADS=1,...,144):
+#   WCQ_BENCH_OPS (default 50000), WCQ_BENCH_RUNS (1),
+#   WCQ_BENCH_THREADS (1,2)
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+
+export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-50000}"
+export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-1}"
+export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+benches=$(find "$BUILD_DIR" -maxdepth 1 -type f -name 'bench_*' \
+  ! -name 'bench_micro_ops' -perm -u+x | sort)
+if [ -z "$benches" ]; then
+  echo "error: no bench_* binaries in '$BUILD_DIR'" >&2
+  exit 2
+fi
+
+summary="$OUT_DIR/BENCH_summary.json"
+{
+  echo "{"
+  echo "  \"ops\": $WCQ_BENCH_OPS,"
+  echo "  \"runs\": $WCQ_BENCH_RUNS,"
+  echo "  \"threads\": \"$WCQ_BENCH_THREADS\","
+  echo "  \"benches\": ["
+} > "$summary"
+
+failed=0
+first=1
+for bin in $benches; do
+  name=$(basename "$bin")
+  csv="$OUT_DIR/BENCH_${name}.csv"
+  echo "== $name (ops=$WCQ_BENCH_OPS runs=$WCQ_BENCH_RUNS threads=$WCQ_BENCH_THREADS)"
+  start=$(date +%s)
+  if "$bin" --csv > "$csv" 2> "$OUT_DIR/BENCH_${name}.log"; then
+    status=ok
+  else
+    status=failed
+    failed=1
+    echo "   FAILED — see $OUT_DIR/BENCH_${name}.log" >&2
+  fi
+  elapsed=$(( $(date +%s) - start ))
+  [ "$first" = 1 ] || echo "    ," >> "$summary"
+  first=0
+  printf '    {"name": "%s", "status": "%s", "seconds": %s, "csv": "%s"}\n' \
+    "$name" "$status" "$elapsed" "BENCH_${name}.csv" >> "$summary"
+done
+
+{
+  echo "  ]"
+  echo "}"
+} >> "$summary"
+
+echo "wrote $summary"
+exit $failed

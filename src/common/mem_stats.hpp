@@ -1,0 +1,7 @@
+// Harness-side view of the counting allocator (wcq/mem.hpp): the
+// benches call mem::reset() before a run and mem::stats().peak_bytes
+// after it. Kept as a thin re-export so bench code includes only
+// harness/common headers.
+#pragma once
+
+#include "wcq/mem.hpp"

@@ -1,0 +1,52 @@
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64 — fast,
+// allocation-free per-thread randomness for workload mixes.
+#pragma once
+
+#include <cstdint>
+
+namespace wcq {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    // splitmix64 expansion so even tiny seeds fill all 256 bits.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound); bound 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return next() % bound;
+  }
+
+  // True with probability pct/100.
+  bool chance_pct(unsigned pct) { return next_below(100) < pct; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace wcq

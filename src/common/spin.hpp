@@ -1,0 +1,16 @@
+// Calibrated-ish busy delay used by the Figure 10 memory workload.
+#pragma once
+
+#include <cstdint>
+
+#include "wcq/detail.hpp"
+
+namespace wcq {
+
+inline void spin_delay(std::uint64_t iters) {
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    detail::cpu_pause();
+  }
+}
+
+}  // namespace wcq

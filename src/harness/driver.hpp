@@ -1,0 +1,117 @@
+// Measurement driver: spawn N pinned workers, release them through a
+// spin barrier, time the run wall-clock, repeat, and report mean
+// Mops/s with the coefficient of variation across runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wcq/detail.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace wcq::harness {
+
+struct MeasureResult {
+  double mean_mops = 0.0;
+  double cv = 0.0;  // stddev / mean across runs
+};
+
+// Thread sweep from WCQ_BENCH_THREADS ("1,2,4,8"), or a small default.
+inline std::vector<unsigned> sweep_thread_counts() {
+  std::vector<unsigned> out;
+  if (const char* env = std::getenv("WCQ_BENCH_THREADS"); env && *env) {
+    unsigned cur = 0;
+    bool have = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        cur = cur * 10 + static_cast<unsigned>(*p - '0');
+        have = true;
+      } else {
+        if (have && cur > 0) out.push_back(cur);
+        cur = 0;
+        have = false;
+        if (*p == '\0') break;
+      }
+    }
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+inline void pin_to_cpu(unsigned worker) {
+#if defined(__linux__)
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(worker % ncpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker;
+#endif
+}
+
+// Run `body(worker)` on `threads` workers, `runs` times; `setup()` is
+// invoked before each run (fresh queue per run). `total_ops` is the
+// op count a full run performs, used for the Mops/s figure.
+template <typename Setup, typename Body>
+MeasureResult repeat_measure(unsigned runs, unsigned threads,
+                             std::uint64_t total_ops, Setup&& setup,
+                             Body&& body) {
+  if (runs == 0) runs = 1;
+  if (threads == 0) threads = 1;
+  std::vector<double> mops;
+  mops.reserve(runs);
+  for (unsigned r = 0; r < runs; ++r) {
+    setup();
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        pin_to_cpu(w);
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (!go.load(std::memory_order_acquire)) {
+          // Yield, not pause: keeps oversubscribed small machines live.
+          std::this_thread::yield();
+        }
+        body(w);
+      });
+    }
+    while (ready.load(std::memory_order_acquire) < threads) {
+      std::this_thread::yield();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& t : workers) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    mops.push_back(secs > 0.0
+                       ? static_cast<double>(total_ops) / 1e6 / secs
+                       : 0.0);
+  }
+  MeasureResult res;
+  double sum = 0.0;
+  for (double m : mops) sum += m;
+  res.mean_mops = sum / static_cast<double>(mops.size());
+  if (mops.size() > 1 && res.mean_mops > 0.0) {
+    double var = 0.0;
+    for (double m : mops) var += (m - res.mean_mops) * (m - res.mean_mops);
+    var /= static_cast<double>(mops.size() - 1);
+    res.cv = std::sqrt(var) / res.mean_mops;
+  }
+  return res;
+}
+
+}  // namespace wcq::harness

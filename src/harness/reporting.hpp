@@ -1,0 +1,79 @@
+// SeriesTable: collect (series, x, value) points and print them as a
+// figure-shaped table (rows = x values, columns = series in insertion
+// order) or as long-format CSV for the plotting scripts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wcq::harness {
+
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  void set(const std::string& series, std::uint64_t x, double value) {
+    if (data_.find(series) == data_.end()) order_.push_back(series);
+    data_[series][x] = value;
+    xs_.insert(x);
+  }
+
+  const std::string& title() const { return title_; }
+
+  void print(std::ostream& os) const {
+    os << "== " << title_ << " (" << y_label_ << ") ==\n";
+    os << std::setw(12) << x_label_;
+    for (const auto& name : order_) os << std::setw(12) << name;
+    os << "\n";
+    for (const std::uint64_t x : xs_) {
+      os << std::setw(12) << x;
+      for (const auto& name : order_) {
+        const auto& series = data_.at(name);
+        const auto it = series.find(x);
+        if (it == series.end()) {
+          os << std::setw(12) << "-";
+        } else {
+          os << std::setw(12) << std::fixed << std::setprecision(3)
+             << it->second;
+        }
+      }
+      os << "\n";
+    }
+  }
+
+  void print_csv(std::ostream& os) const {
+    os << "# " << title_ << "\n";
+    os << "series," << x_label_ << "," << y_label_ << "\n";
+    for (const auto& name : order_) {
+      for (const auto& [x, value] : data_.at(name)) {
+        os << name << "," << x << "," << value << "\n";
+      }
+    }
+  }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::map<std::uint64_t, double>> data_;
+  std::set<std::uint64_t> xs_;
+};
+
+inline bool want_csv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace wcq::harness

@@ -1,0 +1,228 @@
+// Shared correctness checks, templated over the harness adapters so
+// every queue faces the same battery. Each test binary selects checks;
+// a non-zero exit (or abort) fails ctest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/queue_adapters.hpp"
+
+namespace wcq::test {
+
+#define WCQ_CHECK(cond, ...)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FAIL %s:%d: %s — ", __FILE__, __LINE__,     \
+                   #cond);                                              \
+      std::fprintf(stderr, __VA_ARGS__);                                \
+      std::fprintf(stderr, "\n");                                       \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)
+
+inline std::uint64_t env_ops(std::uint64_t dflt) {
+  if (const char* v = std::getenv("WCQ_TEST_OPS"); v && *v) {
+    return std::strtoull(v, nullptr, 10);
+  }
+  return dflt;
+}
+
+// Single-thread FIFO: dequeue order must equal enqueue order.
+template <typename Adapter>
+void test_fifo_order(const char* name) {
+  harness::AdapterConfig cfg;
+  cfg.max_threads = 2;
+  cfg.bounded_order = 15;  // capacity 32768 > n below
+  Adapter q(cfg);
+  auto h = q.make_handle();
+  const std::uint64_t n = 10000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WCQ_CHECK(q.enqueue(i, h), "%s: enqueue %llu refused", name,
+              (unsigned long long)i);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t v = ~std::uint64_t{0};
+    WCQ_CHECK(q.dequeue(&v, h), "%s: dequeue %llu empty", name,
+              (unsigned long long)i);
+    WCQ_CHECK(v == i, "%s: got %llu want %llu (FIFO violated)", name,
+              (unsigned long long)v, (unsigned long long)i);
+  }
+  std::uint64_t v;
+  WCQ_CHECK(!q.dequeue(&v, h), "%s: queue should be drained", name);
+  std::printf("  ok fifo_order        %s\n", name);
+}
+
+// Dequeue on a fresh queue and on a drained queue must report empty.
+template <typename Adapter>
+void test_empty_dequeue(const char* name) {
+  harness::AdapterConfig cfg;
+  cfg.max_threads = 2;
+  cfg.bounded_order = 8;
+  Adapter q(cfg);
+  auto h = q.make_handle();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 100; ++i) {
+    WCQ_CHECK(!q.dequeue(&v, h), "%s: fresh queue not empty", name);
+  }
+  WCQ_CHECK(q.enqueue(42, h), "%s: enqueue refused", name);
+  WCQ_CHECK(q.dequeue(&v, h) && v == 42, "%s: roundtrip failed", name);
+  for (int i = 0; i < 100; ++i) {
+    WCQ_CHECK(!q.dequeue(&v, h), "%s: drained queue not empty", name);
+  }
+  std::printf("  ok empty_dequeue     %s\n", name);
+}
+
+// Bounded queues must accept exactly `capacity` items then refuse;
+// after draining, the refused capacity is available again.
+template <typename Adapter>
+void test_full_ring(const char* name) {
+  harness::AdapterConfig cfg;
+  cfg.max_threads = 2;
+  cfg.bounded_order = 6;  // capacity 64
+  const std::uint64_t cap = 64;
+  Adapter q(cfg);
+  auto h = q.make_handle();
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    WCQ_CHECK(q.enqueue(i, h), "%s: enqueue %llu of %llu refused", name,
+              (unsigned long long)i, (unsigned long long)cap);
+  }
+  WCQ_CHECK(!q.enqueue(999, h), "%s: enqueue into full ring succeeded",
+            name);
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    std::uint64_t v = 0;
+    WCQ_CHECK(q.dequeue(&v, h), "%s: drain %llu empty", name,
+              (unsigned long long)i);
+    WCQ_CHECK(v == i, "%s: drain got %llu want %llu", name,
+              (unsigned long long)v, (unsigned long long)i);
+  }
+  // The ring must be reusable across many wraps after a full episode.
+  for (std::uint64_t i = 0; i < cap * 8; ++i) {
+    WCQ_CHECK(q.enqueue(i, h), "%s: wrap enqueue refused", name);
+    std::uint64_t v = 0;
+    WCQ_CHECK(q.dequeue(&v, h) && v == i, "%s: wrap roundtrip", name);
+  }
+  std::printf("  ok full_ring         %s\n", name);
+}
+
+// MPMC no-loss/no-duplication: P producers push tagged values, C
+// consumers pop until everything is accounted for; every value must be
+// seen exactly once and per-producer order must be monotone.
+template <typename Adapter>
+void test_mpmc(const char* name, unsigned producers, unsigned consumers,
+               std::uint64_t per_producer) {
+  harness::AdapterConfig cfg;
+  cfg.max_threads = producers + consumers + 2;
+  cfg.bounded_order = 10;  // small ring: forces full/empty interleaving
+  Adapter q(cfg);
+
+  const std::uint64_t total = per_producer * producers;
+  std::vector<std::atomic<std::uint32_t>> seen(total);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<bool> order_ok{true};
+
+  std::vector<std::thread> threads;
+  threads.reserve(producers + consumers);
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      auto h = q.make_handle();
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        const std::uint64_t v = p * per_producer + i;
+        while (!q.enqueue(v, h)) {
+          std::this_thread::yield();  // full: wait for consumers
+        }
+      }
+    });
+  }
+  for (unsigned c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      auto h = q.make_handle();
+      std::vector<std::uint64_t> last(producers, 0);
+      std::vector<bool> any(producers, false);
+      while (consumed.load(std::memory_order_acquire) < total) {
+        std::uint64_t v = 0;
+        if (!q.dequeue(&v, h)) {
+          std::this_thread::yield();
+          continue;
+        }
+        WCQ_CHECK(v < total, "%s: out-of-range value %llu", name,
+                  (unsigned long long)v);
+        seen[v].fetch_add(1, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_acq_rel);
+        // Per-producer FIFO: this consumer must see each producer's
+        // values in increasing sequence order.
+        const std::uint64_t p = v / per_producer;
+        const std::uint64_t seq = v % per_producer;
+        if (any[p] && seq <= last[p]) {
+          order_ok.store(false, std::memory_order_relaxed);
+        }
+        last[p] = seq;
+        any[p] = true;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  WCQ_CHECK(consumed.load() == total, "%s: consumed %llu of %llu", name,
+            (unsigned long long)consumed.load(), (unsigned long long)total);
+  for (std::uint64_t v = 0; v < total; ++v) {
+    const std::uint32_t count = seen[v].load(std::memory_order_relaxed);
+    WCQ_CHECK(count == 1, "%s: value %llu seen %u times (lost/duplicated)",
+              name, (unsigned long long)v, count);
+  }
+  WCQ_CHECK(order_ok.load(), "%s: per-producer FIFO order violated", name);
+  std::printf("  ok mpmc %ux%u        %s\n", producers, consumers, name);
+}
+
+// ---- queue selection shared by the test mains ----
+
+inline bool selected(int argc, char** argv, const char* queue) {
+  if (argc < 2) return true;  // no filter: run all
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], queue) == 0) return true;
+  }
+  return false;
+}
+
+// Invokes fn<Adapter>(tag) for each queue selected on the command
+// line: wcq, wcq-portable, scq, faa, msq.
+template <typename Fn>
+int for_selected_queues(int argc, char** argv, Fn fn) {
+  bool matched = false;
+  if (selected(argc, argv, "wcq")) {
+    fn.template operator()<harness::WcqAdapter>("wcq");
+    matched = true;
+  }
+  if (selected(argc, argv, "wcq-portable")) {
+    fn.template operator()<harness::WcqPortableAdapter>("wcq-portable");
+    matched = true;
+  }
+  if (selected(argc, argv, "scq")) {
+    fn.template operator()<harness::ScqAdapter>("scq");
+    matched = true;
+  }
+  if (selected(argc, argv, "faa")) {
+    fn.template operator()<harness::FaaAdapter>("faa");
+    matched = true;
+  }
+  if (selected(argc, argv, "msq")) {
+    fn.template operator()<harness::MsqAdapter>("msq");
+    matched = true;
+  }
+  if (!matched) {
+    std::fprintf(stderr,
+                 "unknown queue filter; expected one of: wcq wcq-portable "
+                 "scq faa msq\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace wcq::test

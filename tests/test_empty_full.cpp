@@ -1,0 +1,22 @@
+// Empty-dequeue behaviour for every queue, and full-ring refusal for
+// the bounded ones (wCQ / SCQ; FAA and MSQ are unbounded by design).
+#include "queue_test_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcq;
+  using namespace wcq::test;
+  auto fn = []<typename A>(const char* tag) { test_empty_dequeue<A>(tag); };
+  const int rc = for_selected_queues(argc, argv, fn);
+  if (rc != 0) return rc;
+
+  if (selected(argc, argv, "wcq")) {
+    test_full_ring<harness::WcqAdapter>("wcq");
+  }
+  if (selected(argc, argv, "wcq-portable")) {
+    test_full_ring<harness::WcqPortableAdapter>("wcq-portable");
+  }
+  if (selected(argc, argv, "scq")) {
+    test_full_ring<harness::ScqAdapter>("scq");
+  }
+  return 0;
+}

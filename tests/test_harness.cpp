@@ -1,0 +1,119 @@
+// Unit checks for the measurement harness itself: SeriesTable output,
+// CSV emission, RNG distribution sanity, the counting allocator, and
+// repeat_measure actually running setup/body the advertised number of
+// times.
+#include <sstream>
+
+#include "common/mem_stats.hpp"
+#include "common/rng.hpp"
+#include "harness/driver.hpp"
+#include "harness/reporting.hpp"
+#include "queue_test_common.hpp"
+
+namespace {
+
+using namespace wcq;
+
+void test_series_table() {
+  harness::SeriesTable t("demo", "threads", "Mops");
+  t.set("A", 1, 1.5);
+  t.set("A", 2, 2.5);
+  t.set("B", 2, 3.25);
+  std::ostringstream table;
+  t.print(table);
+  const std::string s = table.str();
+  WCQ_CHECK(s.find("demo") != std::string::npos, "title missing");
+  WCQ_CHECK(s.find("A") != std::string::npos, "series A missing");
+  std::ostringstream csv;
+  t.print_csv(csv);
+  const std::string c = csv.str();
+  WCQ_CHECK(c.find("series,threads,Mops") != std::string::npos,
+            "csv header missing: %s", c.c_str());
+  WCQ_CHECK(c.find("A,1,1.5") != std::string::npos, "csv row missing: %s",
+            c.c_str());
+  WCQ_CHECK(c.find("B,2,3.25") != std::string::npos, "csv row missing: %s",
+            c.c_str());
+  std::printf("  ok series_table\n");
+}
+
+void test_want_csv() {
+  const char* no_args[] = {"prog"};
+  const char* with_csv[] = {"prog", "--csv"};
+  WCQ_CHECK(!harness::want_csv(1, const_cast<char**>(no_args)), "no-arg");
+  WCQ_CHECK(harness::want_csv(2, const_cast<char**>(with_csv)), "--csv");
+  std::printf("  ok want_csv\n");
+}
+
+void test_rng() {
+  Xoshiro256 rng(42);
+  std::uint64_t heads = 0;
+  const std::uint64_t n = 100000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (rng.chance_pct(50)) ++heads;
+    const std::uint64_t b = rng.next_below(17);
+    WCQ_CHECK(b < 17, "next_below out of range: %llu",
+              (unsigned long long)b);
+  }
+  // 50% coin over 100k flips: allow +-2% (way beyond 6 sigma).
+  WCQ_CHECK(heads > n / 2 - n / 50 && heads < n / 2 + n / 50,
+            "biased coin: %llu/%llu", (unsigned long long)heads,
+            (unsigned long long)n);
+  // Distinct seeds must diverge.
+  Xoshiro256 a(1), b2(2);
+  WCQ_CHECK(a.next() != b2.next(), "seeds 1 and 2 collide");
+  std::printf("  ok rng\n");
+}
+
+void test_mem_counter() {
+  mem::reset();
+  void* p = mem::alloc(1000);
+  WCQ_CHECK(mem::stats().live_bytes == 1000, "live after alloc");
+  void* q = mem::alloc(500);
+  WCQ_CHECK(mem::stats().peak_bytes == 1500, "peak after two allocs");
+  mem::free(p, 1000);
+  WCQ_CHECK(mem::stats().live_bytes == 500, "live after free");
+  WCQ_CHECK(mem::stats().peak_bytes == 1500, "peak is sticky");
+  mem::free(q, 500);
+  mem::reset();
+  WCQ_CHECK(mem::stats().peak_bytes == 0, "reset clears peak");
+  std::printf("  ok mem_counter\n");
+}
+
+void test_repeat_measure() {
+  std::atomic<unsigned> setups{0};
+  std::atomic<unsigned> bodies{0};
+  const auto res = harness::repeat_measure(
+      3, 2, 1000, [&] { setups.fetch_add(1); },
+      [&](unsigned worker) {
+        WCQ_CHECK(worker < 2, "worker id out of range");
+        bodies.fetch_add(1);
+      });
+  WCQ_CHECK(setups.load() == 3, "setup ran %u times", setups.load());
+  WCQ_CHECK(bodies.load() == 6, "body ran %u times", bodies.load());
+  WCQ_CHECK(res.mean_mops > 0.0, "throughput not positive");
+  std::printf("  ok repeat_measure\n");
+}
+
+void test_sweep_parse() {
+#if defined(__linux__)
+  setenv("WCQ_BENCH_THREADS", "1,2, 8", 1);
+  const auto sweep = harness::sweep_thread_counts();
+  WCQ_CHECK(sweep.size() == 3 && sweep[0] == 1 && sweep[1] == 2 &&
+                sweep[2] == 8,
+            "parsed %zu entries", sweep.size());
+  unsetenv("WCQ_BENCH_THREADS");
+#endif
+  std::printf("  ok sweep_parse\n");
+}
+
+}  // namespace
+
+int main() {
+  test_series_table();
+  test_want_csv();
+  test_rng();
+  test_mem_counter();
+  test_repeat_measure();
+  test_sweep_parse();
+  return 0;
+}

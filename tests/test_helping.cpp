@@ -1,0 +1,106 @@
+// Deterministic coverage for wCQ's helper-completion path: the owner
+// publishes a request and then "stalls" (never self-claims, via the
+// WcqTestAccess backdoor); a peer doing its own operations must pick
+// the request up through help_threads and finalize it. On real
+// schedules this window is nanoseconds wide, so timing alone cannot
+// exercise it — this is the wait-freedom scenario made reproducible.
+#include "queue_test_common.hpp"
+#include "wcq/wcq.hpp"
+
+namespace wcq {
+
+template <bool Portable>
+struct WcqTestAccess {
+  using Queue = WcqQueueT<Portable>;
+  using Handle = typename Queue::Handle;
+
+  static void publish_enqueue(Handle& h, std::uint64_t v) {
+    h.rec_->arg.store(v, std::memory_order_relaxed);
+    h.rec_->state.store(Queue::kPendingEnq, std::memory_order_release);
+  }
+  static void publish_dequeue(Handle& h) {
+    h.rec_->state.store(Queue::kPendingDeq, std::memory_order_release);
+  }
+  static bool done(Handle& h) {
+    const std::uint64_t s = h.rec_->state.load(std::memory_order_acquire);
+    return s == Queue::kDoneOk || s == Queue::kDoneFail;
+  }
+  static bool done_ok(Handle& h) {
+    return h.rec_->state.load(std::memory_order_acquire) == Queue::kDoneOk;
+  }
+  static std::uint64_t result(Handle& h) {
+    return h.rec_->result.load(std::memory_order_acquire);
+  }
+  static void reset(Handle& h) {
+    h.rec_->state.store(Queue::kIdle, std::memory_order_release);
+  }
+  static std::uint64_t helps(const Queue& q) { return q.stats().helps; }
+};
+
+}  // namespace wcq
+
+namespace {
+
+template <bool Portable>
+void test_helper_completes_stalled_ops(const char* name) {
+  using Access = wcq::WcqTestAccess<Portable>;
+  using Queue = wcq::WcqQueueT<Portable>;
+  typename Queue::Config cfg;
+  cfg.order = 4;
+  cfg.max_threads = 4;
+  cfg.help_delay = 1;  // helper checks a peer on every own op
+  Queue q(cfg);
+  auto stalled = q.make_handle();
+  auto helper = q.make_handle();
+
+  // --- stalled enqueue(777): the helper's own (empty) dequeues must
+  // complete it, after which the value is really in the queue.
+  Access::publish_enqueue(stalled, 777);
+  std::uint64_t v = 0;
+  bool got777 = false;
+  int spins = 0;
+  while (!Access::done(stalled)) {
+    // The loop dequeue may consume 777 the moment the help lands.
+    if (q.dequeue(&v, helper) && v == 777) got777 = true;
+    WCQ_CHECK(++spins < 1000, "%s: helper never completed the enqueue",
+              name);
+  }
+  WCQ_CHECK(Access::done_ok(stalled), "%s: stalled enqueue failed", name);
+  Access::reset(stalled);
+  if (!got777) {
+    WCQ_CHECK(q.dequeue(&v, helper) && v == 777,
+              "%s: helped enqueue value lost (got %llu)", name,
+              (unsigned long long)v);
+  }
+
+  // --- stalled dequeue: put one value in, publish the request, and
+  // drive the helper with enqueue/dequeue churn until it finalizes.
+  WCQ_CHECK(q.enqueue(888, helper), "%s: seed enqueue refused", name);
+  Access::publish_dequeue(stalled);
+  spins = 0;
+  while (!Access::done(stalled)) {
+    // Churn on a disjoint value; the helper must hand 888 (FIFO head)
+    // to the stalled requester, not consume it itself.
+    (void)q.enqueue(5, helper);
+    (void)q.dequeue(&v, helper);
+    WCQ_CHECK(++spins < 1000, "%s: helper never completed the dequeue",
+              name);
+  }
+  WCQ_CHECK(Access::done_ok(stalled), "%s: stalled dequeue failed", name);
+  WCQ_CHECK(Access::result(stalled) == 888,
+            "%s: stalled dequeue got %llu want 888", name,
+            (unsigned long long)Access::result(stalled));
+  Access::reset(stalled);
+
+  WCQ_CHECK(Access::helps(q) >= 2, "%s: helps counter is %llu, want >= 2",
+            name, (unsigned long long)Access::helps(q));
+  std::printf("  ok helping           %s\n", name);
+}
+
+}  // namespace
+
+int main() {
+  test_helper_completes_stalled_ops<false>("wcq");
+  test_helper_completes_stalled_ops<true>("wcq-portable");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// MPMC no-loss/no-duplication under producer/consumer contention, the
+// tier-1 correctness gate (also the TSan target in CI). Sizes shrink
+// automatically on small machines; override with WCQ_TEST_OPS.
+#include "queue_test_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcq::test;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned side = hw >= 8 ? 4 : 2;  // producers and consumers each
+  const std::uint64_t per_producer = env_ops(hw >= 4 ? 20000 : 8000);
+  auto fn = [&]<typename A>(const char* tag) {
+    test_mpmc<A>(tag, side, side, per_producer);
+    // Asymmetric shapes stress full-ring (many producers) and
+    // empty-queue (many consumers) edges.
+    test_mpmc<A>(tag, 2 * side, 1, per_producer / 2);
+    test_mpmc<A>(tag, 1, 2 * side, per_producer / 2);
+  };
+  return for_selected_queues(argc, argv, fn);
+}
