@@ -17,15 +17,14 @@ int main(int argc, char** argv) {
                             "help_delay", "Mops/sec");
 
   for (unsigned delay : {1u, 4u, 16u, 64u, 256u}) {
-    harness::AdapterConfig cfg;
-    cfg.max_threads = threads + 2;
-    cfg.help_delay = delay;
+    const wcq::options cfg =
+        wcq::options{}.max_threads(threads + 2).help_delay(delay);
     std::unique_ptr<harness::WcqAdapter> adapter;
     const std::uint64_t per_thread = ops / threads;
     auto workload = pairwise_workload<harness::WcqAdapter>();
     auto setup = [&] { adapter = std::make_unique<harness::WcqAdapter>(cfg); };
     auto body = [&](unsigned worker) {
-      auto handle = adapter->make_handle();
+      auto handle = adapter->get_handle();
       Xoshiro256 rng(0xdefu + worker);
       workload(*adapter, handle, rng, per_thread);
     };

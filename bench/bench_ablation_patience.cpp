@@ -21,17 +21,17 @@ int main(int argc, char** argv) {
 
   for (unsigned patience : {1u, 4u, 16u, 64u, 256u}) {
     for (const bool pairwise : {true, false}) {
-      harness::AdapterConfig cfg;
-      cfg.max_threads = threads + 2;
-      cfg.enqueue_patience = patience;
-      cfg.dequeue_patience = patience * 4;  // keep the paper's 1:4 ratio
+      const wcq::options cfg = wcq::options{}
+                                   .max_threads(threads + 2)
+                                   // keep the paper's 1:4 ratio
+                                   .patience(patience, patience * 4);
       std::unique_ptr<harness::WcqAdapter> adapter;
       const std::uint64_t per_thread = ops / threads;
       auto wl_pair = pairwise_workload<harness::WcqAdapter>();
       auto wl_mix = mixed_workload<harness::WcqAdapter>();
       auto setup = [&] { adapter = std::make_unique<harness::WcqAdapter>(cfg); };
       auto body = [&](unsigned worker) {
-        auto handle = adapter->make_handle();
+        auto handle = adapter->get_handle();
         Xoshiro256 rng(0xabcu + worker);
         (pairwise ? wl_pair : wl_mix)(*adapter, handle, rng, per_thread);
       };

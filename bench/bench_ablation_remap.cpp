@@ -9,22 +9,21 @@
 namespace wcq::bench {
 namespace {
 
-template <typename Adapter>
+template <wcq::concepts::Queue Q>
 void remap_series(harness::SeriesTable& table,
                   const std::vector<unsigned>& sweep, std::uint64_t ops,
                   unsigned runs, bool remap) {
-  auto workload = pairwise_workload<Adapter>();
+  auto workload = pairwise_workload<Q>();
   const std::string series =
-      std::string(Adapter::kName) + (remap ? "+remap" : "-remap");
+      std::string(Q::kName) + (remap ? "+remap" : "-remap");
   for (unsigned threads : sweep) {
-    harness::AdapterConfig cfg;
-    cfg.max_threads = threads + 2;
-    cfg.remap = remap;
-    std::unique_ptr<Adapter> adapter;
+    const wcq::options cfg =
+        wcq::options{}.max_threads(threads + 2).remap(remap);
+    std::unique_ptr<Q> adapter;
     const std::uint64_t per_thread = ops / threads;
-    auto setup = [&] { adapter = std::make_unique<Adapter>(cfg); };
+    auto setup = [&] { adapter = std::make_unique<Q>(cfg); };
     auto body = [&](unsigned worker) {
-      auto handle = adapter->make_handle();
+      auto handle = adapter->get_handle();
       Xoshiro256 rng(0x777u + worker);
       workload(*adapter, handle, rng, per_thread);
     };

@@ -8,27 +8,26 @@
 namespace wcq::bench {
 namespace {
 
-template <typename Adapter>
+template <wcq::concepts::Queue Q>
 void order_series(harness::SeriesTable& table, unsigned threads,
                   std::uint64_t ops, unsigned runs) {
-  auto workload = pairwise_workload<Adapter>();
+  auto workload = pairwise_workload<Q>();
   for (unsigned order : {8u, 10u, 12u, 15u, 17u}) {
-    harness::AdapterConfig cfg;
-    cfg.max_threads = threads + 2;
-    cfg.bounded_order = order;
-    std::unique_ptr<Adapter> adapter;
+    const wcq::options cfg =
+        wcq::options{}.max_threads(threads + 2).order(order);
+    std::unique_ptr<Q> adapter;
     const std::uint64_t per_thread = ops / threads;
-    auto setup = [&] { adapter = std::make_unique<Adapter>(cfg); };
+    auto setup = [&] { adapter = std::make_unique<Q>(cfg); };
     auto body = [&](unsigned worker) {
-      auto handle = adapter->make_handle();
+      auto handle = adapter->get_handle();
       Xoshiro256 rng(0x31415u + worker);
       workload(*adapter, handle, rng, per_thread);
     };
     const auto res = harness::repeat_measure(runs, threads,
                                              per_thread * threads, setup,
                                              body);
-    table.set(Adapter::kName, order, res.mean_mops);
-    std::fprintf(stderr, "  %s order=%u: %.2f Mops\n", Adapter::kName, order,
+    table.set(Q::kName, order, res.mean_mops);
+    std::fprintf(stderr, "  %s order=%u: %.2f Mops\n", Q::kName, order,
                  res.mean_mops);
   }
 }

@@ -1,6 +1,8 @@
 // Shared benchmark scaffolding: run one workload across the paper's
 // queue lineup and thread sweep, print a figure-shaped table (+ CSV
-// with --csv).
+// with --csv). Everything here is constrained on wcq::concepts::Queue,
+// so a workload compiles against any lineup entry (or any future
+// backend) without per-queue glue.
 //
 // Defaults are sized for small machines; the paper's exact methodology
 // (10,000,000 ops x 10 runs, threads up to 144) is reproduced by
@@ -21,6 +23,7 @@
 #include "harness/driver.hpp"
 #include "harness/queue_adapters.hpp"
 #include "harness/reporting.hpp"
+#include "wcq/concepts.hpp"
 
 namespace wcq::bench {
 
@@ -45,34 +48,34 @@ inline std::vector<unsigned> default_threads() {
   return {1, 2, 4, 8};  // paper: 1,2,4,8,18,36,72,144
 }
 
-// Per-thread benchmark body: given (adapter, handle, rng, ops) perform
+// Per-thread benchmark body: given (queue, handle, rng, ops) perform
 // `ops` queue operations.
-template <typename Adapter>
-using Workload = std::function<void(Adapter&, typename Adapter::Handle&,
-                                    Xoshiro256&, std::uint64_t)>;
+template <concepts::Queue Q>
+using Workload = std::function<void(Q&, typename Q::handle&, Xoshiro256&,
+                                    std::uint64_t)>;
 
 // Measure one queue type over the thread sweep; adds one series.
-template <typename Adapter>
-void run_series(harness::SeriesTable& table,
-                const Workload<Adapter>& workload,
+template <concepts::Queue Q>
+void run_series(harness::SeriesTable& table, const Workload<Q>& workload,
                 const std::vector<unsigned>& threads_sweep,
-                std::uint64_t total_ops, unsigned runs) {
+                std::uint64_t total_ops, unsigned runs,
+                const options& base_opts = options{}) {
   for (unsigned threads : threads_sweep) {
-    harness::AdapterConfig cfg;
-    cfg.max_threads = threads + 2;
-    std::unique_ptr<Adapter> adapter;
+    options opts = base_opts;
+    opts.max_threads(threads + 2);
+    std::unique_ptr<Q> q;
     const std::uint64_t ops_per_thread = total_ops / threads;
-    auto setup = [&] { adapter = std::make_unique<Adapter>(cfg); };
+    auto setup = [&] { q = std::make_unique<Q>(opts); };
     auto body = [&](unsigned worker) {
-      auto handle = adapter->make_handle();
+      auto handle = q->get_handle();
       Xoshiro256 rng(0x1234u + worker * 7919u);
-      workload(*adapter, handle, rng, ops_per_thread);
+      workload(*q, handle, rng, ops_per_thread);
     };
     const auto res = harness::repeat_measure(runs, threads,
                                              ops_per_thread * threads,
                                              setup, body);
-    table.set(Adapter::kName, threads, res.mean_mops);
-    std::cerr << "  " << Adapter::kName << " @" << threads << ": "
+    table.set(Q::kName, threads, res.mean_mops);
+    std::cerr << "  " << Q::kName << " @" << threads << ": "
               << res.mean_mops << " Mops/s (cv " << res.cv << ")\n";
   }
 }
@@ -104,44 +107,39 @@ void run_all_queues(harness::SeriesTable& table, MakeWorkload make,
 // ---- the three workloads of Figures 11/12 ----
 
 // (a) Dequeue in a tight loop on an always-empty queue.
-template <typename Adapter>
-Workload<Adapter> empty_dequeue_workload() {
-  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256&,
-            std::uint64_t ops) {
-    std::uint64_t v;
+template <concepts::Queue Q>
+Workload<Q> empty_dequeue_workload() {
+  return [](Q& q, typename Q::handle& h, Xoshiro256&, std::uint64_t ops) {
     for (std::uint64_t i = 0; i < ops; ++i) {
-      (void)q.dequeue(&v, h);
+      (void)q.try_pop(h);
     }
   };
 }
 
 // (b) Pairwise: Enqueue immediately followed by Dequeue.
-template <typename Adapter>
-Workload<Adapter> pairwise_workload() {
-  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256&,
-            std::uint64_t ops) {
-    std::uint64_t v;
+template <concepts::Queue Q>
+Workload<Q> pairwise_workload() {
+  return [](Q& q, typename Q::handle& h, Xoshiro256&, std::uint64_t ops) {
     for (std::uint64_t i = 0; i < ops / 2; ++i) {
-      while (!q.enqueue(i & 0xffff, h)) {
+      while (!q.try_push(i & 0xffff, h)) {
       }
-      (void)q.dequeue(&v, h);
+      (void)q.try_pop(h);
     }
   };
 }
 
 // (c) 50%/50% random mix.
-template <typename Adapter>
-Workload<Adapter> mixed_workload() {
-  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256& rng,
+template <concepts::Queue Q>
+Workload<Q> mixed_workload() {
+  return [](Q& q, typename Q::handle& h, Xoshiro256& rng,
             std::uint64_t ops) {
-    std::uint64_t v;
     for (std::uint64_t i = 0; i < ops; ++i) {
       if (rng.chance_pct(50)) {
-        while (!q.enqueue(i & 0xffff, h)) {
-          if (!q.dequeue(&v, h)) break;  // bounded queue full: make room
+        while (!q.try_push(i & 0xffff, h)) {
+          if (!q.try_pop(h)) break;  // bounded queue full: make room
         }
       } else {
-        (void)q.dequeue(&v, h);
+        (void)q.try_pop(h);
       }
     }
   };
@@ -149,18 +147,17 @@ Workload<Adapter> mixed_workload() {
 
 // Memory test workload (Figure 10): random mix with tiny random delays
 // between operations, which the paper found amplifies memory artifacts.
-template <typename Adapter>
-Workload<Adapter> memory_test_workload() {
-  return [](Adapter& q, typename Adapter::Handle& h, Xoshiro256& rng,
+template <concepts::Queue Q>
+Workload<Q> memory_test_workload() {
+  return [](Q& q, typename Q::handle& h, Xoshiro256& rng,
             std::uint64_t ops) {
-    std::uint64_t v;
     for (std::uint64_t i = 0; i < ops; ++i) {
       if (rng.chance_pct(50)) {
-        while (!q.enqueue(i & 0xffff, h)) {
-          if (!q.dequeue(&v, h)) break;
+        while (!q.try_push(i & 0xffff, h)) {
+          if (!q.try_pop(h)) break;
         }
       } else {
-        (void)q.dequeue(&v, h);
+        (void)q.try_pop(h);
       }
       spin_delay(rng.next_below(32));
     }

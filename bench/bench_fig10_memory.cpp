@@ -13,35 +13,34 @@
 namespace wcq::bench {
 namespace {
 
-template <typename Adapter>
+template <wcq::concepts::Queue Q>
 void memory_series(harness::SeriesTable& mem_table,
                    harness::SeriesTable& tput_table,
                    const std::vector<unsigned>& sweep,
                    std::uint64_t total_ops, unsigned runs) {
-  auto workload = memory_test_workload<Adapter>();
+  auto workload = memory_test_workload<Q>();
   for (unsigned threads : sweep) {
-    harness::AdapterConfig cfg;
-    cfg.max_threads = threads + 2;
-    std::unique_ptr<Adapter> adapter;
+    const wcq::options opts = wcq::options{}.max_threads(threads + 2);
+    std::unique_ptr<Q> q;
     const std::uint64_t per_thread = total_ops / threads;
     double peak_mb = 0.0;
     auto setup = [&] {
-      adapter.reset();  // destroy previous instance first
+      q.reset();  // destroy previous instance first
       mem::reset();
-      adapter = std::make_unique<Adapter>(cfg);
+      q = std::make_unique<Q>(opts);
     };
     auto body = [&](unsigned worker) {
-      auto handle = adapter->make_handle();
+      auto handle = q->get_handle();
       Xoshiro256 rng(0x9999u + worker * 31337u);
-      workload(*adapter, handle, rng, per_thread);
+      workload(*q, handle, rng, per_thread);
     };
     const auto res =
         harness::repeat_measure(runs, threads, per_thread * threads, setup,
                                 body);
     peak_mb = static_cast<double>(mem::stats().peak_bytes) / (1024.0 * 1024.0);
-    mem_table.set(Adapter::kName, threads, peak_mb);
-    tput_table.set(Adapter::kName, threads, res.mean_mops);
-    std::cerr << "  " << Adapter::kName << " @" << threads << ": " << peak_mb
+    mem_table.set(Q::kName, threads, peak_mb);
+    tput_table.set(Q::kName, threads, res.mean_mops);
+    std::cerr << "  " << Q::kName << " @" << threads << ": " << peak_mb
               << " MB peak, " << res.mean_mops << " Mops/s\n";
   }
 }

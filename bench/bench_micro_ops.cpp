@@ -7,58 +7,49 @@
 #include <memory>
 
 #include "harness/queue_adapters.hpp"
+#include "wcq/concepts.hpp"
 
 namespace {
 
-using wcq::harness::AdapterConfig;
+inline wcq::options micro_opts() {
+  return wcq::options{}.max_threads(2).order(12);
+}
 
-template <typename Adapter>
+template <wcq::concepts::Queue Q>
 void BM_pairwise(benchmark::State& state) {
-  AdapterConfig cfg;
-  cfg.max_threads = 2;
-  cfg.bounded_order = 12;
-  Adapter adapter(cfg);
-  auto handle = adapter.make_handle();
-  std::uint64_t v = 0;
+  Q q(micro_opts());
+  auto handle = q.get_handle();
   for (auto _ : state) {
-    while (!adapter.enqueue(7, handle)) {
+    while (!q.try_push(7, handle)) {
     }
-    benchmark::DoNotOptimize(adapter.dequeue(&v, handle));
+    benchmark::DoNotOptimize(q.try_pop(handle));
   }
   state.SetItemsProcessed(state.iterations() * 2);
 }
 
-template <typename Adapter>
+template <wcq::concepts::Queue Q>
 void BM_empty_dequeue(benchmark::State& state) {
-  AdapterConfig cfg;
-  cfg.max_threads = 2;
-  cfg.bounded_order = 12;
-  Adapter adapter(cfg);
-  auto handle = adapter.make_handle();
-  std::uint64_t v = 0;
+  Q q(micro_opts());
+  auto handle = q.get_handle();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(adapter.dequeue(&v, handle));
+    benchmark::DoNotOptimize(q.try_pop(handle));
   }
   state.SetItemsProcessed(state.iterations());
 }
 
-template <typename Adapter>
+template <wcq::concepts::Queue Q>
 void BM_enqueue_burst(benchmark::State& state) {
   // 256 enqueues then 256 dequeues per iteration: the queue actually
   // holds elements, unlike the pairwise ping-pong.
-  AdapterConfig cfg;
-  cfg.max_threads = 2;
-  cfg.bounded_order = 12;
-  Adapter adapter(cfg);
-  auto handle = adapter.make_handle();
-  std::uint64_t v = 0;
+  Q q(micro_opts());
+  auto handle = q.get_handle();
   for (auto _ : state) {
     for (int i = 0; i < 256; ++i) {
-      while (!adapter.enqueue(static_cast<std::uint64_t>(i), handle)) {
+      while (!q.try_push(static_cast<std::uint64_t>(i), handle)) {
       }
     }
     for (int i = 0; i < 256; ++i) {
-      benchmark::DoNotOptimize(adapter.dequeue(&v, handle));
+      benchmark::DoNotOptimize(q.try_pop(handle));
     }
   }
   state.SetItemsProcessed(state.iterations() * 512);

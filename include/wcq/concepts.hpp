@@ -1,0 +1,48 @@
+// The one Queue concept the whole repo programs against.
+//
+// Two layers, two concepts:
+//  - concepts::Backend is the raw 64-bit-slot surface every queue
+//    implementation (wCQ, SCQ, FAA, MSQ, future LCRQ/YMC/...) exposes;
+//    wcq::queue<T, B> requires it of its B parameter.
+//  - concepts::Queue is the typed facade surface (try_push(T),
+//    try_pop() -> optional<T>, RAII handles); the benchmark harness
+//    and the test battery constrain on it, so adding a lineup entry is
+//    "satisfy the concept", not "match a duck-typed adapter by hand".
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+#include "wcq/options.hpp"
+
+namespace wcq::concepts {
+
+// Raw backend: options-constructible, per-thread Handle (possibly
+// empty), bool try_push/try_pop over 64-bit slots. try_get_handle
+// reports exhaustion as nullopt instead of failing.
+template <typename B>
+concept Backend =
+    std::constructible_from<B, const wcq::options&> &&
+    requires(B& b, typename B::Handle& h, std::uint64_t v, std::uint64_t* out) {
+      typename B::Handle;
+      { b.get_handle() } -> std::same_as<typename B::Handle>;
+      { b.try_get_handle() } -> std::same_as<std::optional<typename B::Handle>>;
+      { b.try_push(v, h) } -> std::same_as<bool>;
+      { b.try_pop(out, h) } -> std::same_as<bool>;
+    };
+
+// Typed queue facade: what workloads, tests, and benches see.
+template <typename Q>
+concept Queue =
+    std::constructible_from<Q, const wcq::options&> &&
+    requires(Q& q, typename Q::handle& h, const typename Q::value_type& v) {
+      typename Q::value_type;
+      typename Q::handle;
+      { q.get_handle() } -> std::same_as<typename Q::handle>;
+      { q.try_get_handle() } -> std::same_as<std::optional<typename Q::handle>>;
+      { q.try_push(v, h) } -> std::same_as<bool>;
+      { q.try_pop(h) } -> std::same_as<std::optional<typename Q::value_type>>;
+    };
+
+}  // namespace wcq::concepts

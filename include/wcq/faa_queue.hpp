@@ -14,17 +14,23 @@
 #include <cassert>
 #include <cstdint>
 #include <new>
+#include <optional>
 
 #include "wcq/detail.hpp"
+#include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
+#include "wcq/options.hpp"
 
 namespace wcq {
 
 class FaaQueue {
  public:
+  // Backend-internal configuration; the public surface is wcq::options.
   struct Config {
     unsigned seg_order = 10;  // 1024 slots per segment
   };
+
+  using Handle = TrivialHandle;
 
   static constexpr std::uint64_t kEmptyCell = ~std::uint64_t{0};
   static constexpr std::uint64_t kTakenCell = ~std::uint64_t{0} - 1;
@@ -36,6 +42,8 @@ class FaaQueue {
     head_seg_.store(first_, std::memory_order_relaxed);
     tail_seg_.store(first_, std::memory_order_relaxed);
   }
+
+  explicit FaaQueue(const options& opt) : FaaQueue(Config{opt.seg_order()}) {}
 
   ~FaaQueue() {
     Segment* s = first_;
@@ -49,7 +57,35 @@ class FaaQueue {
   FaaQueue(const FaaQueue&) = delete;
   FaaQueue& operator=(const FaaQueue&) = delete;
 
-  bool enqueue(std::uint64_t v) {
+  Handle get_handle() { return Handle{}; }
+  std::optional<Handle> try_get_handle() { return Handle{}; }
+
+  // Succeeds for every storable value (unbounded). The top two slot
+  // patterns are the EMPTY/TAKEN sentinels of the FAA protocol and
+  // cannot be stored: they are refused here (false) rather than
+  // silently lost — a CAS of kEmptyCell over kEmptyCell "succeeds"
+  // while leaving the cell empty. Typed callers that need the full
+  // 64-bit value space over this backend must use a boxed
+  // slot_codec (pointers never collide with the sentinels).
+  bool try_push(std::uint64_t v, Handle&) {
+    if (v >= kTakenCell) return false;
+    return push_impl(v);
+  }
+
+  // False iff the queue is empty.
+  bool try_pop(std::uint64_t* v, Handle&) { return pop_impl(v); }
+
+  // Pre-facade spellings, kept one PR for out-of-tree callers.
+  [[deprecated("use try_push")]] bool enqueue(std::uint64_t v) {
+    return push_impl(v);
+  }
+
+  [[deprecated("use try_pop")]] bool dequeue(std::uint64_t* v) {
+    return pop_impl(v);
+  }
+
+ private:
+  bool push_impl(std::uint64_t v) {
     assert(v < kTakenCell && "sentinel values cannot be enqueued");
     for (;;) {
       const std::uint64_t t = tail_.fetch_add(1, std::memory_order_seq_cst);
@@ -64,7 +100,7 @@ class FaaQueue {
     }
   }
 
-  bool dequeue(std::uint64_t* v) {
+  bool pop_impl(std::uint64_t* v) {
     for (;;) {
       if (head_.load(std::memory_order_seq_cst) >=
           tail_.load(std::memory_order_seq_cst)) {
@@ -81,7 +117,6 @@ class FaaQueue {
     }
   }
 
- private:
   struct alignas(detail::kCacheLine) Segment {
     std::uint64_t id = 0;
     Segment* prev = nullptr;  // immutable after publication

@@ -9,21 +9,29 @@
 #include <atomic>
 #include <cstdint>
 #include <new>
+#include <optional>
 
 #include "wcq/detail.hpp"
+#include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
+#include "wcq/options.hpp"
 
 namespace wcq {
 
 class MsqQueue {
  public:
+  // Backend-internal configuration; the public surface is wcq::options.
   struct Config {};
+
+  using Handle = TrivialHandle;
 
   explicit MsqQueue(const Config&) {
     Node* dummy = new_node(0);
     head_.store(dummy, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
   }
+
+  explicit MsqQueue(const options&) : MsqQueue(Config{}) {}
 
   ~MsqQueue() {
     Node* n = head_.load(std::memory_order_relaxed);
@@ -43,7 +51,26 @@ class MsqQueue {
   MsqQueue(const MsqQueue&) = delete;
   MsqQueue& operator=(const MsqQueue&) = delete;
 
-  bool enqueue(std::uint64_t v) {
+  Handle get_handle() { return Handle{}; }
+  std::optional<Handle> try_get_handle() { return Handle{}; }
+
+  // Always succeeds (unbounded).
+  bool try_push(std::uint64_t v, Handle&) { return push_impl(v); }
+
+  // False iff the queue is empty.
+  bool try_pop(std::uint64_t* v, Handle&) { return pop_impl(v); }
+
+  // Pre-facade spellings, kept one PR for out-of-tree callers.
+  [[deprecated("use try_push")]] bool enqueue(std::uint64_t v) {
+    return push_impl(v);
+  }
+
+  [[deprecated("use try_pop")]] bool dequeue(std::uint64_t* v) {
+    return pop_impl(v);
+  }
+
+ private:
+  bool push_impl(std::uint64_t v) {
     Node* node = new_node(v);
     for (;;) {
       Node* t = tail_.load(std::memory_order_acquire);
@@ -65,7 +92,7 @@ class MsqQueue {
     }
   }
 
-  bool dequeue(std::uint64_t* v) {
+  bool pop_impl(std::uint64_t* v) {
     for (;;) {
       Node* h = head_.load(std::memory_order_acquire);
       Node* t = tail_.load(std::memory_order_acquire);
@@ -88,7 +115,6 @@ class MsqQueue {
     }
   }
 
- private:
   struct alignas(detail::kCacheLine) Node {
     std::atomic<Node*> next{nullptr};
     std::uint64_t value = 0;

@@ -1,0 +1,98 @@
+// wcq::options — the one configuration object every backend consumes.
+// A fluent builder (each setter returns *this) so call sites read as a
+// sentence:
+//
+//   wcq::queue<std::uint64_t> q(
+//       wcq::options{}.order(16).max_threads(64).help_delay(16));
+//
+// Knobs not meaningful for a given backend are simply ignored by it
+// (e.g. patience for SCQ, seg_order for everything but FAA), so one
+// options value can configure a whole lineup of queues identically —
+// which is exactly what the benchmark harness does.
+#pragma once
+
+namespace wcq {
+
+class options {
+ public:
+  constexpr options() = default;
+
+  // Ring capacity = 2^order values (bounded backends; paper §6 uses 16).
+  constexpr options& order(unsigned v) {
+    order_ = v;
+    return *this;
+  }
+  constexpr unsigned order() const { return order_; }
+
+  // Upper bound on *simultaneously live* handles. With RAII recycling
+  // this is a concurrency bound, not a lifetime-total bound.
+  constexpr options& max_threads(unsigned v) {
+    max_threads_ = v;
+    return *this;
+  }
+  constexpr unsigned max_threads() const { return max_threads_; }
+
+  // Fast-path attempts before an operation is published for helping
+  // (wCQ; paper §6 defaults: 16 enqueue / 64 dequeue).
+  constexpr options& enqueue_patience(unsigned v) {
+    enqueue_patience_ = v;
+    return *this;
+  }
+  constexpr unsigned enqueue_patience() const { return enqueue_patience_; }
+
+  constexpr options& dequeue_patience(unsigned v) {
+    dequeue_patience_ = v;
+    return *this;
+  }
+  constexpr unsigned dequeue_patience() const { return dequeue_patience_; }
+
+  // Both patience knobs at once, preserving the paper's 1:4 shape when
+  // callers sweep a single value.
+  constexpr options& patience(unsigned enq, unsigned deq) {
+    enqueue_patience_ = enq;
+    dequeue_patience_ = deq;
+    return *this;
+  }
+
+  // Own operations between peer help checks (wCQ §3.1).
+  constexpr options& help_delay(unsigned v) {
+    help_delay_ = v;
+    return *this;
+  }
+  constexpr unsigned help_delay() const { return help_delay_; }
+
+  // Cache_Remap position permutation (§2; Ablation A3).
+  constexpr options& remap(bool v) {
+    remap_ = v;
+    return *this;
+  }
+  constexpr bool remap() const { return remap_; }
+
+  // LL/SC-shaped ring operations (the §4 portable build) for backends
+  // that support both forms in one type (SCQ). wCQ's portable build is
+  // a distinct type (WcqPortableQueue) and ignores this.
+  constexpr options& portable(bool v) {
+    portable_ = v;
+    return *this;
+  }
+  constexpr bool portable() const { return portable_; }
+
+  // Segment capacity = 2^seg_order slots (unbounded FAA backend).
+  constexpr options& seg_order(unsigned v) {
+    seg_order_ = v;
+    return *this;
+  }
+  constexpr unsigned seg_order() const { return seg_order_; }
+
+ private:
+  unsigned order_ = 16;
+  unsigned max_threads_ = 128;
+  unsigned enqueue_patience_ = 16;
+  unsigned dequeue_patience_ = 64;
+  unsigned help_delay_ = 16;
+  bool remap_ = true;
+  bool portable_ = false;
+  unsigned seg_order_ = 10;
+};
+
+}  // namespace wcq

@@ -6,19 +6,27 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 
+#include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
+#include "wcq/options.hpp"
 #include "wcq/scq_ring.hpp"
 
 namespace wcq {
 
 class ScqQueue {
  public:
+  // Backend-internal configuration; the public surface is wcq::options.
   struct Config {
     unsigned order = 16;  // capacity = 2^order values
     bool remap = true;
     bool portable = false;
   };
+
+  // SCQ keeps no per-thread state; the empty handle exists so every
+  // backend has the same shape behind wcq::concepts::Backend.
+  using Handle = TrivialHandle;
 
   explicit ScqQueue(const Config& cfg)
       : n_(std::uint64_t{1} << cfg.order),
@@ -32,6 +40,9 @@ class ScqQueue {
     }
   }
 
+  explicit ScqQueue(const options& opt)
+      : ScqQueue(Config{opt.order(), opt.remap(), opt.portable()}) {}
+
   ~ScqQueue() { mem::free(data_, n_ * sizeof(std::atomic<std::uint64_t>)); }
 
   ScqQueue(const ScqQueue&) = delete;
@@ -39,8 +50,26 @@ class ScqQueue {
 
   std::uint64_t capacity() const { return n_; }
 
+  Handle get_handle() { return Handle{}; }
+  std::optional<Handle> try_get_handle() { return Handle{}; }
+
   // False iff the queue is full.
-  bool enqueue(std::uint64_t v) {
+  bool try_push(std::uint64_t v, Handle&) { return push_impl(v); }
+
+  // False iff the queue is empty.
+  bool try_pop(std::uint64_t* v, Handle&) { return pop_impl(v); }
+
+  // Pre-facade spellings, kept one PR for out-of-tree callers.
+  [[deprecated("use try_push")]] bool enqueue(std::uint64_t v) {
+    return push_impl(v);
+  }
+
+  [[deprecated("use try_pop")]] bool dequeue(std::uint64_t* v) {
+    return pop_impl(v);
+  }
+
+ private:
+  bool push_impl(std::uint64_t v) {
     std::uint64_t idx = 0;
     if (aq_.dequeue_idx(&idx, ScqRing::kUnbounded) == ScqRing::kEmpty) {
       return false;  // no free slots: full
@@ -50,8 +79,7 @@ class ScqQueue {
     return true;
   }
 
-  // False iff the queue is empty.
-  bool dequeue(std::uint64_t* v) {
+  bool pop_impl(std::uint64_t* v) {
     std::uint64_t idx = 0;
     if (fq_.dequeue_idx(&idx, ScqRing::kUnbounded) == ScqRing::kEmpty) {
       return false;
@@ -61,7 +89,6 @@ class ScqQueue {
     return true;
   }
 
- private:
   const std::uint64_t n_;
   ScqRing aq_;  // free slots (starts full)
   ScqRing fq_;  // filled slots (starts empty)

@@ -20,16 +20,20 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
 #if defined(__linux__)
 #include <sched.h>
 #endif
 
 #include "wcq/detail.hpp"
+#include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
+#include "wcq/options.hpp"
 #include "wcq/scq_ring.hpp"
 
 namespace wcq {
@@ -51,6 +55,9 @@ struct WcqTestAccess;
 template <bool Portable>
 class WcqQueueT {
  public:
+  // Backend-internal configuration; the public surface is
+  // wcq::options. Kept because the paper's knob names (MAX_PATIENCE,
+  // HELP_DELAY) map onto it one-to-one.
   struct Config {
     unsigned order = 16;  // capacity = 2^order values
     unsigned max_threads = 128;
@@ -66,7 +73,8 @@ class WcqQueueT {
       : cfg_(sanitize(cfg)),
         n_(std::uint64_t{1} << cfg_.order),
         aq_(cfg_.order, cfg_.remap, Portable),
-        fq_(cfg_.order, cfg_.remap, Portable) {
+        fq_(cfg_.order, cfg_.remap, Portable),
+        slots_(cfg_.max_threads) {
     data_ = static_cast<std::atomic<std::uint64_t>*>(
         mem::alloc(n_ * sizeof(std::atomic<std::uint64_t>)));
     for (std::uint64_t i = 0; i < n_; ++i) {
@@ -78,7 +86,14 @@ class WcqQueueT {
     for (unsigned i = 0; i < cfg_.max_threads; ++i) new (&recs_[i]) ThreadRec();
   }
 
+  explicit WcqQueueT(const options& opt) : WcqQueueT(config_from(opt)) {}
+
   ~WcqQueueT() {
+    // Lifetime contract: every handle must die before its queue — a
+    // surviving handle's destructor would write into freed registry
+    // memory. Catch the misuse here, where the guilty queue is known.
+    assert(slots_.live() == 0 &&
+           "wcq: a Handle is outliving its queue (use-after-free ahead)");
     for (unsigned i = 0; i < cfg_.max_threads; ++i) recs_[i].~ThreadRec();
     mem::free(recs_, cfg_.max_threads * sizeof(ThreadRec));
     mem::free(data_, n_ * sizeof(std::atomic<std::uint64_t>));
@@ -90,27 +105,37 @@ class WcqQueueT {
   std::uint64_t capacity() const { return n_; }
 
   // Every participating thread needs its own handle (the paper's
-  // per-thread state for helping). Handles are cheap value types.
-  Handle make_handle() {
-    const unsigned slot = next_rec_.fetch_add(1, std::memory_order_acq_rel);
-    if (slot >= cfg_.max_threads) {
-      std::fprintf(stderr,
-                   "wcq: make_handle() exceeded max_threads=%u\n",
-                   cfg_.max_threads);
-      std::abort();
+  // per-thread state for helping). Handles are RAII: destruction
+  // returns the ThreadRec slot to a free list, so max_threads bounds
+  // *concurrent* participants, not lifetime thread count. A handle
+  // must not outlive its queue (its destructor touches the queue's
+  // registry); the queue's destructor asserts this in debug builds.
+  //
+  // nullopt iff max_threads handles are simultaneously live.
+  std::optional<Handle> try_get_handle() {
+    const unsigned slot = slots_.acquire();
+    if (slot == SlotRegistry::kNone) return std::nullopt;
+    return Handle(this, &recs_[slot]);
+  }
+
+  // Throwing flavor for call sites where exhaustion is a logic error.
+  Handle get_handle() {
+    auto h = try_get_handle();
+    if (!h) {
+      throw std::runtime_error(
+          "wcq: all max_threads handle slots are simultaneously live");
     }
-    // Publish the grown live-record count for helper scans.
-    unsigned live = live_recs_.load(std::memory_order_relaxed);
-    while (live < slot + 1 &&
-           !live_recs_.compare_exchange_weak(live, slot + 1,
-                                             std::memory_order_release,
-                                             std::memory_order_relaxed)) {
-    }
-    return Handle(&recs_[slot]);
+    return std::move(*h);
+  }
+
+  // Handles now recycle their slot on destruction, so the lifetime
+  // cap that motivated this name is gone.
+  [[deprecated("use get_handle()/try_get_handle()")]] Handle make_handle() {
+    return get_handle();
   }
 
   // False iff the queue is full.
-  bool enqueue(std::uint64_t v, Handle& h) {
+  bool try_push(std::uint64_t v, Handle& h) {
     ThreadRec* rec = h.rec_;
     maybe_help(rec);
     std::uint64_t idx = 0;
@@ -136,7 +161,7 @@ class WcqQueueT {
   }
 
   // False iff the queue is empty.
-  bool dequeue(std::uint64_t* v, Handle& h) {
+  bool try_pop(std::uint64_t* v, Handle& h) {
     ThreadRec* rec = h.rec_;
     maybe_help(rec);
     std::uint64_t idx = 0;
@@ -156,10 +181,22 @@ class WcqQueueT {
     return slow_op(rec, kPendingDeq, 0, v);
   }
 
+  // Pre-facade spellings, kept one PR for out-of-tree callers.
+  [[deprecated("use try_push")]] bool enqueue(std::uint64_t v, Handle& h) {
+    return try_push(v, h);
+  }
+
+  [[deprecated("use try_pop")]] bool dequeue(std::uint64_t* v, Handle& h) {
+    return try_pop(v, h);
+  }
+
   WcqStats stats() const {
     WcqStats s;
-    const unsigned live = live_recs_.load(std::memory_order_acquire);
-    for (unsigned i = 0; i < live; ++i) {
+    // Counters survive slot recycling (they are per-slot accumulators,
+    // never reset on release), so this sum is consistent across any
+    // amount of thread churn.
+    const unsigned touched = slots_.high_water();
+    for (unsigned i = 0; i < touched; ++i) {
       s.fast_enqueues += recs_[i].fast_enq.load(std::memory_order_relaxed);
       s.slow_enqueues += recs_[i].slow_enq.load(std::memory_order_relaxed);
       s.fast_dequeues += recs_[i].fast_deq.load(std::memory_order_relaxed);
@@ -198,12 +235,30 @@ class WcqQueueT {
     unsigned help_cursor = 0;
   };
 
+  static Config config_from(const options& opt) {
+    Config cfg;
+    cfg.order = opt.order();
+    cfg.max_threads = opt.max_threads();
+    cfg.enqueue_patience = opt.enqueue_patience();
+    cfg.dequeue_patience = opt.dequeue_patience();
+    cfg.help_delay = opt.help_delay();
+    cfg.remap = opt.remap();
+    return cfg;
+  }
+
   static Config sanitize(Config cfg) {
     if (cfg.enqueue_patience == 0) cfg.enqueue_patience = 1;
     if (cfg.dequeue_patience == 0) cfg.dequeue_patience = 1;
     if (cfg.help_delay == 0) cfg.help_delay = 1;
     if (cfg.max_threads == 0) cfg.max_threads = 1;
     return cfg;
+  }
+
+  void release_rec(ThreadRec* rec) {
+    // The owner is past its last operation, so state is kIdle and no
+    // helper will claim this record; counters intentionally persist so
+    // stats() stays monotone across recycling.
+    slots_.release(static_cast<unsigned>(rec - recs_));
   }
 
   bool do_enqueue(std::uint64_t v) {
@@ -269,10 +324,15 @@ class WcqQueueT {
   // and complete its pending request if nobody else has claimed it.
   void maybe_help(ThreadRec* rec) {
     if (++rec->op_count % cfg_.help_delay != 0) return;
-    const unsigned live = live_recs_.load(std::memory_order_acquire);
-    if (live <= 1) return;
-    ThreadRec* peer = &recs_[rec->help_cursor++ % live];
-    if (peer == rec) return;
+    const unsigned touched = slots_.high_water();
+    if (touched <= 1) return;
+    ThreadRec* peer = &recs_[rec->help_cursor++ % touched];
+    if (peer == rec) {
+      // Landing on our own record must still spend the round on a real
+      // peer: consecutive cursor values differ mod touched (>= 2), so
+      // one step forward is guaranteed to leave our record.
+      peer = &recs_[rec->help_cursor++ % touched];
+    }
     std::uint64_t s = peer->state.load(std::memory_order_acquire);
     if (s != kPendingEnq && s != kPendingDeq) return;
     if (!peer->state.compare_exchange_strong(s, kActive,
@@ -298,22 +358,51 @@ class WcqQueueT {
   ScqRing fq_;
   std::atomic<std::uint64_t>* data_ = nullptr;
   ThreadRec* recs_ = nullptr;
-  std::atomic<unsigned> next_rec_{0};
-  std::atomic<unsigned> live_recs_{0};
+  SlotRegistry slots_;
 };
 
 template <bool Portable>
 class WcqQueueT<Portable>::Handle {
  public:
-  // Handles only come from make_handle(); a default-constructed one
-  // would dereference null on first use.
+  // Handles only come from the queue; a default-constructed one would
+  // dereference null on first use.
   Handle() = delete;
+
+  Handle(Handle&& other) noexcept
+      : q_(std::exchange(other.q_, nullptr)),
+        rec_(std::exchange(other.rec_, nullptr)) {}
+
+  Handle& operator=(Handle&& other) noexcept {
+    if (this != &other) {
+      release();
+      q_ = std::exchange(other.q_, nullptr);
+      rec_ = std::exchange(other.rec_, nullptr);
+    }
+    return *this;
+  }
+
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  ~Handle() { release(); }
+
+  // True unless moved-from. Using a moved-from handle is UB.
+  explicit operator bool() const { return rec_ != nullptr; }
 
  private:
   friend class WcqQueueT<Portable>;
   friend struct WcqTestAccess<Portable>;
-  explicit Handle(ThreadRec* rec) : rec_(rec) {}
-  ThreadRec* rec_;
+
+  Handle(WcqQueueT* q, ThreadRec* rec) : q_(q), rec_(rec) {}
+
+  void release() {
+    if (q_ != nullptr) q_->release_rec(rec_);
+    q_ = nullptr;
+    rec_ = nullptr;
+  }
+
+  WcqQueueT* q_ = nullptr;
+  ThreadRec* rec_ = nullptr;
 };
 
 using WcqQueue = WcqQueueT<false>;

@@ -1,104 +1,39 @@
-// Uniform adapter layer: every queue in the paper's lineup behind the
-// same {make_handle, enqueue, dequeue} surface the workloads program
-// against.
+// The paper's queue lineup, expressed through the one public surface:
+// every entry is wcq::queue<std::uint64_t, Backend> plus a legend
+// name. Workloads, tests, and benches constrain on
+// wcq::concepts::Queue — there is no hand-rolled adapter duck type and
+// no per-queue Config plumbing here; wcq::options configures every
+// backend uniformly.
 //
 // Implemented for real: wCQ (+ portable build), SCQ, FAA, MSQ.
 // Aliased placeholders (name carries a '*'): the rest of the lineup is
 // mapped to the nearest implemented design so every figure binary
 // links and runs end-to-end — YMC*/LCRQ* -> FAA (unbounded FAA array),
 // CCQ*/LSCQ* -> SCQ (bounded ring), CRTurn* -> MSQ (CAS list),
-// uwCQ* -> wCQ. Real implementations are ROADMAP open items.
+// uwCQ* -> wCQ. Real implementations are ROADMAP open items: each
+// lands as a Backend satisfying wcq::concepts::Backend and replaces
+// its alias below.
 #pragma once
 
 #include <cstdint>
-#include <type_traits>
 
+#include "wcq/concepts.hpp"
 #include "wcq/faa_queue.hpp"
 #include "wcq/msq.hpp"
+#include "wcq/queue.hpp"
 #include "wcq/scq.hpp"
 #include "wcq/wcq.hpp"
 
 namespace wcq::harness {
 
-struct AdapterConfig {
-  unsigned max_threads = 128;
-  unsigned bounded_order = 16;     // paper Section 6: 2^16-slot rings
-  unsigned enqueue_patience = 16;  // fast-path attempts before slow path
-  unsigned dequeue_patience = 64;
-  unsigned help_delay = 16;        // ops between peer help checks
-  bool remap = true;               // Cache_Remap on/off (Ablation A3)
-};
-
-namespace detail_adapters {
-
-inline ScqQueue::Config scq_config(const AdapterConfig& cfg, bool portable) {
-  ScqQueue::Config out;
-  out.order = cfg.bounded_order;
-  out.remap = cfg.remap;
-  out.portable = portable;
-  return out;
-}
-
-template <bool Portable>
-typename WcqQueueT<Portable>::Config wcq_config(const AdapterConfig& cfg) {
-  typename WcqQueueT<Portable>::Config out;
-  out.order = cfg.bounded_order;
-  out.max_threads = cfg.max_threads;
-  out.enqueue_patience = cfg.enqueue_patience;
-  out.dequeue_patience = cfg.dequeue_patience;
-  out.help_delay = cfg.help_delay;
-  out.remap = cfg.remap;
-  return out;
-}
-
-}  // namespace detail_adapters
-
-// ---- queues without per-thread state ----
-
-template <typename Queue, const char* Name>
-class BasicAdapter {
+// A lineup entry: the typed facade over one backend, tagged with the
+// series name the paper's figure legends use.
+template <typename Backend, const char* Name>
+class Lineup : public wcq::queue<std::uint64_t, Backend> {
  public:
   static constexpr const char* kName = Name;
-  struct Handle {};
-
-  explicit BasicAdapter(const AdapterConfig& cfg) : q_(make_queue(cfg)) {}
-
-  Handle make_handle() { return Handle{}; }
-  bool enqueue(std::uint64_t v, Handle&) { return q_.enqueue(v); }
-  bool dequeue(std::uint64_t* v, Handle&) { return q_.dequeue(v); }
-
- private:
-  static auto make_queue(const AdapterConfig& cfg) {
-    if constexpr (std::is_same_v<Queue, ScqQueue>) {
-      return detail_adapters::scq_config(cfg, /*portable=*/false);
-    } else {
-      (void)cfg;
-      return typename Queue::Config{};
-    }
-  }
-
-  Queue q_;
-};
-
-// ---- wCQ, which carries handles and slow-path statistics ----
-
-template <bool Portable, const char* Name>
-class WcqAdapterT {
- public:
-  static constexpr const char* kName = Name;
-  using Queue = WcqQueueT<Portable>;
-  using Handle = typename Queue::Handle;
-
-  explicit WcqAdapterT(const AdapterConfig& cfg)
-      : q_(detail_adapters::wcq_config<Portable>(cfg)) {}
-
-  Handle make_handle() { return q_.make_handle(); }
-  bool enqueue(std::uint64_t v, Handle& h) { return q_.enqueue(v, h); }
-  bool dequeue(std::uint64_t* v, Handle& h) { return q_.dequeue(v, h); }
-  WcqStats stats() const { return q_.stats(); }
-
- private:
-  Queue q_;
+  using base = wcq::queue<std::uint64_t, Backend>;
+  using base::base;
 };
 
 // Series names as they appear in the paper's legends. A trailing '*'
@@ -115,19 +50,34 @@ inline constexpr char kLcrqName[] = "LCRQ*";
 inline constexpr char kMsqName[] = "MSQ";
 inline constexpr char kCrTurnName[] = "CRTurn*";
 
-using WcqAdapter = WcqAdapterT<false, kWcqName>;
-using WcqPortableAdapter = WcqAdapterT<true, kWcqPortableName>;
-using UwcqAdapter = WcqAdapterT<false, kUwcqName>;
+using WcqAdapter = Lineup<WcqQueue, kWcqName>;
+using WcqPortableAdapter = Lineup<WcqPortableQueue, kWcqPortableName>;
+using UwcqAdapter = Lineup<WcqQueue, kUwcqName>;
 
-using ScqAdapter = BasicAdapter<ScqQueue, kScqName>;
-using CcqAdapter = BasicAdapter<ScqQueue, kCcqName>;
-using LscqAdapter = BasicAdapter<ScqQueue, kLscqName>;
+using ScqAdapter = Lineup<ScqQueue, kScqName>;
+using CcqAdapter = Lineup<ScqQueue, kCcqName>;
+using LscqAdapter = Lineup<ScqQueue, kLscqName>;
 
-using FaaAdapter = BasicAdapter<FaaQueue, kFaaName>;
-using YmcAdapter = BasicAdapter<FaaQueue, kYmcName>;
-using LcrqAdapter = BasicAdapter<FaaQueue, kLcrqName>;
+using FaaAdapter = Lineup<FaaQueue, kFaaName>;
+using YmcAdapter = Lineup<FaaQueue, kYmcName>;
+using LcrqAdapter = Lineup<FaaQueue, kLcrqName>;
 
-using MsqAdapter = BasicAdapter<MsqQueue, kMsqName>;
-using CrTurnAdapter = BasicAdapter<MsqQueue, kCrTurnName>;
+using MsqAdapter = Lineup<MsqQueue, kMsqName>;
+using CrTurnAdapter = Lineup<MsqQueue, kCrTurnName>;
+
+// Every lineup entry satisfies the concept the whole harness programs
+// against; a backend that drifts breaks the build here, not in a
+// template stack twelve frames deep.
+static_assert(concepts::Queue<WcqAdapter>);
+static_assert(concepts::Queue<WcqPortableAdapter>);
+static_assert(concepts::Queue<UwcqAdapter>);
+static_assert(concepts::Queue<ScqAdapter>);
+static_assert(concepts::Queue<CcqAdapter>);
+static_assert(concepts::Queue<LscqAdapter>);
+static_assert(concepts::Queue<FaaAdapter>);
+static_assert(concepts::Queue<YmcAdapter>);
+static_assert(concepts::Queue<LcrqAdapter>);
+static_assert(concepts::Queue<MsqAdapter>);
+static_assert(concepts::Queue<CrTurnAdapter>);
 
 }  // namespace wcq::harness

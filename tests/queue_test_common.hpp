@@ -1,6 +1,6 @@
-// Shared correctness checks, templated over the harness adapters so
-// every queue faces the same battery. Each test binary selects checks;
-// a non-zero exit (or abort) fails ctest.
+// Shared correctness checks, templated over wcq::concepts::Queue so
+// every lineup entry faces the same battery. Each test binary selects
+// checks; a non-zero exit (or abort) fails ctest.
 #pragma once
 
 #include <atomic>
@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "harness/queue_adapters.hpp"
+#include "wcq/concepts.hpp"
+#include "wcq/options.hpp"
 
 namespace wcq::test {
 
@@ -35,78 +37,70 @@ inline std::uint64_t env_ops(std::uint64_t dflt) {
 }
 
 // Single-thread FIFO: dequeue order must equal enqueue order.
-template <typename Adapter>
+template <concepts::Queue Q>
 void test_fifo_order(const char* name) {
-  harness::AdapterConfig cfg;
-  cfg.max_threads = 2;
-  cfg.bounded_order = 15;  // capacity 32768 > n below
-  Adapter q(cfg);
-  auto h = q.make_handle();
+  // capacity 32768 > n below
+  Q q(options{}.max_threads(2).order(15));
+  auto h = q.get_handle();
   const std::uint64_t n = 10000;
   for (std::uint64_t i = 0; i < n; ++i) {
-    WCQ_CHECK(q.enqueue(i, h), "%s: enqueue %llu refused", name,
+    WCQ_CHECK(q.try_push(i, h), "%s: enqueue %llu refused", name,
               (unsigned long long)i);
   }
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::uint64_t v = ~std::uint64_t{0};
-    WCQ_CHECK(q.dequeue(&v, h), "%s: dequeue %llu empty", name,
+    const auto v = q.try_pop(h);
+    WCQ_CHECK(v.has_value(), "%s: dequeue %llu empty", name,
               (unsigned long long)i);
-    WCQ_CHECK(v == i, "%s: got %llu want %llu (FIFO violated)", name,
-              (unsigned long long)v, (unsigned long long)i);
+    WCQ_CHECK(*v == i, "%s: got %llu want %llu (FIFO violated)", name,
+              (unsigned long long)*v, (unsigned long long)i);
   }
-  std::uint64_t v;
-  WCQ_CHECK(!q.dequeue(&v, h), "%s: queue should be drained", name);
+  WCQ_CHECK(!q.try_pop(h).has_value(), "%s: queue should be drained", name);
   std::printf("  ok fifo_order        %s\n", name);
 }
 
 // Dequeue on a fresh queue and on a drained queue must report empty.
-template <typename Adapter>
+template <concepts::Queue Q>
 void test_empty_dequeue(const char* name) {
-  harness::AdapterConfig cfg;
-  cfg.max_threads = 2;
-  cfg.bounded_order = 8;
-  Adapter q(cfg);
-  auto h = q.make_handle();
-  std::uint64_t v = 0;
+  Q q(options{}.max_threads(2).order(8));
+  auto h = q.get_handle();
   for (int i = 0; i < 100; ++i) {
-    WCQ_CHECK(!q.dequeue(&v, h), "%s: fresh queue not empty", name);
+    WCQ_CHECK(!q.try_pop(h).has_value(), "%s: fresh queue not empty", name);
   }
-  WCQ_CHECK(q.enqueue(42, h), "%s: enqueue refused", name);
-  WCQ_CHECK(q.dequeue(&v, h) && v == 42, "%s: roundtrip failed", name);
+  WCQ_CHECK(q.try_push(42, h), "%s: enqueue refused", name);
+  const auto v = q.try_pop(h);
+  WCQ_CHECK(v && *v == 42, "%s: roundtrip failed", name);
   for (int i = 0; i < 100; ++i) {
-    WCQ_CHECK(!q.dequeue(&v, h), "%s: drained queue not empty", name);
+    WCQ_CHECK(!q.try_pop(h).has_value(), "%s: drained queue not empty",
+              name);
   }
   std::printf("  ok empty_dequeue     %s\n", name);
 }
 
 // Bounded queues must accept exactly `capacity` items then refuse;
 // after draining, the refused capacity is available again.
-template <typename Adapter>
+template <concepts::Queue Q>
 void test_full_ring(const char* name) {
-  harness::AdapterConfig cfg;
-  cfg.max_threads = 2;
-  cfg.bounded_order = 6;  // capacity 64
   const std::uint64_t cap = 64;
-  Adapter q(cfg);
-  auto h = q.make_handle();
+  Q q(options{}.max_threads(2).order(6));  // capacity 64
+  auto h = q.get_handle();
   for (std::uint64_t i = 0; i < cap; ++i) {
-    WCQ_CHECK(q.enqueue(i, h), "%s: enqueue %llu of %llu refused", name,
+    WCQ_CHECK(q.try_push(i, h), "%s: enqueue %llu of %llu refused", name,
               (unsigned long long)i, (unsigned long long)cap);
   }
-  WCQ_CHECK(!q.enqueue(999, h), "%s: enqueue into full ring succeeded",
+  WCQ_CHECK(!q.try_push(999, h), "%s: enqueue into full ring succeeded",
             name);
   for (std::uint64_t i = 0; i < cap; ++i) {
-    std::uint64_t v = 0;
-    WCQ_CHECK(q.dequeue(&v, h), "%s: drain %llu empty", name,
+    const auto v = q.try_pop(h);
+    WCQ_CHECK(v.has_value(), "%s: drain %llu empty", name,
               (unsigned long long)i);
-    WCQ_CHECK(v == i, "%s: drain got %llu want %llu", name,
-              (unsigned long long)v, (unsigned long long)i);
+    WCQ_CHECK(*v == i, "%s: drain got %llu want %llu", name,
+              (unsigned long long)*v, (unsigned long long)i);
   }
   // The ring must be reusable across many wraps after a full episode.
   for (std::uint64_t i = 0; i < cap * 8; ++i) {
-    WCQ_CHECK(q.enqueue(i, h), "%s: wrap enqueue refused", name);
-    std::uint64_t v = 0;
-    WCQ_CHECK(q.dequeue(&v, h) && v == i, "%s: wrap roundtrip", name);
+    WCQ_CHECK(q.try_push(i, h), "%s: wrap enqueue refused", name);
+    const auto v = q.try_pop(h);
+    WCQ_CHECK(v && *v == i, "%s: wrap roundtrip", name);
   }
   std::printf("  ok full_ring         %s\n", name);
 }
@@ -114,13 +108,11 @@ void test_full_ring(const char* name) {
 // MPMC no-loss/no-duplication: P producers push tagged values, C
 // consumers pop until everything is accounted for; every value must be
 // seen exactly once and per-producer order must be monotone.
-template <typename Adapter>
+template <concepts::Queue Q>
 void test_mpmc(const char* name, unsigned producers, unsigned consumers,
                std::uint64_t per_producer) {
-  harness::AdapterConfig cfg;
-  cfg.max_threads = producers + consumers + 2;
-  cfg.bounded_order = 10;  // small ring: forces full/empty interleaving
-  Adapter q(cfg);
+  // small ring: forces full/empty interleaving
+  Q q(options{}.max_threads(producers + consumers + 2).order(10));
 
   const std::uint64_t total = per_producer * producers;
   std::vector<std::atomic<std::uint32_t>> seen(total);
@@ -132,10 +124,10 @@ void test_mpmc(const char* name, unsigned producers, unsigned consumers,
   threads.reserve(producers + consumers);
   for (unsigned p = 0; p < producers; ++p) {
     threads.emplace_back([&, p] {
-      auto h = q.make_handle();
+      auto h = q.get_handle();
       for (std::uint64_t i = 0; i < per_producer; ++i) {
         const std::uint64_t v = p * per_producer + i;
-        while (!q.enqueue(v, h)) {
+        while (!q.try_push(v, h)) {
           std::this_thread::yield();  // full: wait for consumers
         }
       }
@@ -143,15 +135,16 @@ void test_mpmc(const char* name, unsigned producers, unsigned consumers,
   }
   for (unsigned c = 0; c < consumers; ++c) {
     threads.emplace_back([&] {
-      auto h = q.make_handle();
+      auto h = q.get_handle();
       std::vector<std::uint64_t> last(producers, 0);
       std::vector<bool> any(producers, false);
       while (consumed.load(std::memory_order_acquire) < total) {
-        std::uint64_t v = 0;
-        if (!q.dequeue(&v, h)) {
+        const auto popped = q.try_pop(h);
+        if (!popped) {
           std::this_thread::yield();
           continue;
         }
+        const std::uint64_t v = *popped;
         WCQ_CHECK(v < total, "%s: out-of-range value %llu", name,
                   (unsigned long long)v);
         seen[v].fetch_add(1, std::memory_order_relaxed);
@@ -191,8 +184,8 @@ inline bool selected(int argc, char** argv, const char* queue) {
   return false;
 }
 
-// Invokes fn<Adapter>(tag) for each queue selected on the command
-// line: wcq, wcq-portable, scq, faa, msq.
+// Invokes fn<Q>(tag) for each queue selected on the command line:
+// wcq, wcq-portable, scq, faa, msq.
 template <typename Fn>
 int for_selected_queues(int argc, char** argv, Fn fn) {
   bool matched = false;

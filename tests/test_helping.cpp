@@ -45,13 +45,10 @@ template <bool Portable>
 void test_helper_completes_stalled_ops(const char* name) {
   using Access = wcq::WcqTestAccess<Portable>;
   using Queue = wcq::WcqQueueT<Portable>;
-  typename Queue::Config cfg;
-  cfg.order = 4;
-  cfg.max_threads = 4;
-  cfg.help_delay = 1;  // helper checks a peer on every own op
-  Queue q(cfg);
-  auto stalled = q.make_handle();
-  auto helper = q.make_handle();
+  // help_delay=1: helper checks a peer on every own op
+  Queue q(wcq::options{}.order(4).max_threads(4).help_delay(1));
+  auto stalled = q.get_handle();
+  auto helper = q.get_handle();
 
   // --- stalled enqueue(777): the helper's own (empty) dequeues must
   // complete it, after which the value is really in the queue.
@@ -61,28 +58,28 @@ void test_helper_completes_stalled_ops(const char* name) {
   int spins = 0;
   while (!Access::done(stalled)) {
     // The loop dequeue may consume 777 the moment the help lands.
-    if (q.dequeue(&v, helper) && v == 777) got777 = true;
+    if (q.try_pop(&v, helper) && v == 777) got777 = true;
     WCQ_CHECK(++spins < 1000, "%s: helper never completed the enqueue",
               name);
   }
   WCQ_CHECK(Access::done_ok(stalled), "%s: stalled enqueue failed", name);
   Access::reset(stalled);
   if (!got777) {
-    WCQ_CHECK(q.dequeue(&v, helper) && v == 777,
+    WCQ_CHECK(q.try_pop(&v, helper) && v == 777,
               "%s: helped enqueue value lost (got %llu)", name,
               (unsigned long long)v);
   }
 
   // --- stalled dequeue: put one value in, publish the request, and
   // drive the helper with enqueue/dequeue churn until it finalizes.
-  WCQ_CHECK(q.enqueue(888, helper), "%s: seed enqueue refused", name);
+  WCQ_CHECK(q.try_push(888, helper), "%s: seed enqueue refused", name);
   Access::publish_dequeue(stalled);
   spins = 0;
   while (!Access::done(stalled)) {
     // Churn on a disjoint value; the helper must hand 888 (FIFO head)
     // to the stalled requester, not consume it itself.
-    (void)q.enqueue(5, helper);
-    (void)q.dequeue(&v, helper);
+    (void)q.try_push(5, helper);
+    (void)q.try_pop(&v, helper);
     WCQ_CHECK(++spins < 1000, "%s: helper never completed the dequeue",
               name);
   }
@@ -97,10 +94,43 @@ void test_helper_completes_stalled_ops(const char* name) {
   std::printf("  ok helping           %s\n", name);
 }
 
+// Regression for the help-round self-skip bug: when the round-robin
+// cursor lands on the helper's own record, the round must advance to a
+// real peer instead of being forfeited. Deterministic setup: the
+// helper owns slot 0, so its first help check (cursor 0) hits itself;
+// before the fix that returned without helping and — with exactly one
+// other thread — every other round was wasted the same way.
+template <bool Portable>
+void test_help_round_not_wasted_on_self(const char* name) {
+  using Access = wcq::WcqTestAccess<Portable>;
+  using Queue = wcq::WcqQueueT<Portable>;
+  Queue q(wcq::options{}.order(4).max_threads(4).help_delay(1));
+  auto helper = q.get_handle();   // slot 0: cursor 0 lands on itself
+  auto stalled = q.get_handle();  // slot 1: the peer needing help
+
+  Access::publish_enqueue(stalled, 321);
+  std::uint64_t v = 0;
+  // One single own-operation must spend its help round on the peer.
+  // The help lands before the pop itself, so the pop may already
+  // consume the helped value.
+  const bool got321 = q.try_pop(&v, helper) && v == 321;
+  WCQ_CHECK(Access::done(stalled),
+            "%s: help round landing on self was forfeited", name);
+  WCQ_CHECK(Access::done_ok(stalled), "%s: self-skip help failed", name);
+  Access::reset(stalled);
+  if (!got321) {
+    WCQ_CHECK(q.try_pop(&v, helper) && v == 321,
+              "%s: self-skip helped value lost", name);
+  }
+  std::printf("  ok helping_self_skip %s\n", name);
+}
+
 }  // namespace
 
 int main() {
   test_helper_completes_stalled_ops<false>("wcq");
   test_helper_completes_stalled_ops<true>("wcq-portable");
+  test_help_round_not_wasted_on_self<false>("wcq");
+  test_help_round_not_wasted_on_self<true>("wcq-portable");
   return 0;
 }
