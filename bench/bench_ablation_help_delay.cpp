@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
 
   harness::SeriesTable tput("Ablation A2: wCQ throughput vs HELP_DELAY",
                             "help_delay", "Mops/sec");
+  harness::SeriesTable helps("Ablation A2: helps given per 1k ops",
+                             "help_delay", "helps/1k");
 
   for (unsigned delay : {1u, 4u, 16u, 64u, 256u}) {
     const wcq::options cfg =
@@ -31,10 +33,13 @@ int main(int argc, char** argv) {
     const auto res = harness::repeat_measure(runs, threads,
                                              per_thread * threads, setup,
                                              body);
+    const double help_rate = helps_per_1k_ops(*adapter, per_thread * threads);
     tput.set("pairwise", delay, res.mean_mops);
-    std::fprintf(stderr, "  help_delay=%u: %.2f Mops\n", delay,
-                 res.mean_mops);
+    helps.set("pairwise", delay, help_rate);
+    std::fprintf(stderr, "  help_delay=%u: %.2f Mops, %.3f helps/1k\n", delay,
+                 res.mean_mops, help_rate);
   }
   emit(tput, argc, argv);
+  emit(helps, argc, argv);
   return 0;
 }

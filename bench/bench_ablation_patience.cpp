@@ -38,10 +38,8 @@ int main(int argc, char** argv) {
       const auto res = harness::repeat_measure(runs, threads,
                                                per_thread * threads, setup,
                                                body);
-      const WcqStats st = adapter->stats();
       const double slow_rate =
-          1000.0 * static_cast<double>(st.slow_enqueues + st.slow_dequeues) /
-          static_cast<double>(per_thread * threads);
+          slow_per_1k_ops(*adapter, per_thread * threads);
       const char* series = pairwise ? "pairwise" : "mixed";
       tput.set(series, patience, res.mean_mops);
       slows.set(series, patience, slow_rate);

@@ -164,6 +164,22 @@ Workload<Q> memory_test_workload() {
   };
 }
 
+// Slow-path observability for the ablation drivers, constrained on the
+// ObservableQueue refinement (no reaching into backend internals).
+template <concepts::ObservableQueue Q>
+double slow_per_1k_ops(const Q& q, std::uint64_t total_ops) {
+  const auto st = q.stats();
+  return 1000.0 *
+         static_cast<double>(st.slow_enqueues + st.slow_dequeues) /
+         static_cast<double>(total_ops);
+}
+
+template <concepts::ObservableQueue Q>
+double helps_per_1k_ops(const Q& q, std::uint64_t total_ops) {
+  return 1000.0 * static_cast<double>(q.stats().helps) /
+         static_cast<double>(total_ops);
+}
+
 inline void emit(const harness::SeriesTable& table, int argc, char** argv) {
   table.print(std::cout);
   if (harness::want_csv(argc, argv)) {

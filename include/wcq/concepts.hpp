@@ -45,4 +45,18 @@ concept Queue =
       { q.try_pop(h) } -> std::same_as<std::optional<typename Q::value_type>>;
     };
 
+// Queue with slow-path observability: stats() exposing fast/slow op
+// and help counters. The ablation benches constrain on this instead of
+// reaching into backend internals, so any future backend that reports
+// the same counters slots into those drivers unchanged.
+template <typename Q>
+concept ObservableQueue =
+    Queue<Q> && requires(const Q& q) {
+      { q.stats().fast_enqueues } -> std::convertible_to<std::uint64_t>;
+      { q.stats().slow_enqueues } -> std::convertible_to<std::uint64_t>;
+      { q.stats().fast_dequeues } -> std::convertible_to<std::uint64_t>;
+      { q.stats().slow_dequeues } -> std::convertible_to<std::uint64_t>;
+      { q.stats().helps } -> std::convertible_to<std::uint64_t>;
+    };
+
 }  // namespace wcq::concepts

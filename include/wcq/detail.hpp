@@ -1,6 +1,9 @@
-// Low-level shared bits: cache-line constants, cpu_pause, yield helper.
+// Low-level shared bits: cache-line constants, cpu_pause, CAS2 (the
+// double-width compare-and-swap wCQ's note protocol rides on), and the
+// packed note/request-control layouts of the cooperative slow path.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -31,6 +34,208 @@ inline constexpr unsigned log2_pow2(std::uint64_t x) {
   unsigned r = 0;
   while ((std::uint64_t{1} << r) < x) ++r;
   return r;
+}
+
+// ---- CAS2: double-width (128-bit) compare-and-swap ------------------
+//
+// The wCQ slow path publishes per-entry notes next to each ring word
+// and needs {word, note} to change together (Figures 4-7). On x86-64
+// that is one `lock cmpxchg16b`; everywhere else (and under TSan,
+// which cannot see through inline asm) we fall back to the compiler's
+// 128-bit __atomic builtins — the same "portable build" posture as the
+// LL/SC-shaped ring consume of Section 4.
+
+struct Pair {
+  std::uint64_t word;  // ring entry: [cycle | is_safe | index]
+  std::uint64_t note;  // 0, or a packed slow-path note (see below)
+};
+
+#if defined(__SANITIZE_THREAD__)
+#define WCQ_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WCQ_TSAN 1
+#endif
+#endif
+#ifndef WCQ_TSAN
+#define WCQ_TSAN 0
+#endif
+
+#if defined(__x86_64__) && !WCQ_TSAN
+#define WCQ_CAS2_NATIVE 1
+#else
+#define WCQ_CAS2_NATIVE 0
+#endif
+
+// Portable CAS2: __atomic builtins on a 16-byte object. With -mcx16
+// (set by the build for x86-64) this stays lock-free; under TSan it is
+// also the instrumented path the race detector can reason about. This
+// is the Section 4 "portable build" shape, and what WcqPortableQueue
+// runs unconditionally.
+inline bool cas2_portable(Pair* addr, Pair* expected, Pair desired) {
+  return __atomic_compare_exchange(addr, expected, &desired,
+                                   /*weak=*/false, __ATOMIC_SEQ_CST,
+                                   __ATOMIC_SEQ_CST);
+}
+
+// Atomically: if *addr == *expected, store desired and return true;
+// else copy the current value into *expected and return false. `addr`
+// must be 16-byte aligned. Full barrier on success and failure.
+inline bool cas2(Pair* addr, Pair* expected, Pair desired) {
+#if WCQ_CAS2_NATIVE
+  bool ok;
+  asm volatile("lock cmpxchg16b %1"
+               : "=@ccz"(ok), "+m"(*addr), "+a"(expected->word),
+                 "+d"(expected->note)
+               : "b"(desired.word), "c"(desired.note)
+               : "memory");
+  return ok;
+#else
+  return cas2_portable(addr, expected, desired);
+#endif
+}
+
+// ---- note layout -----------------------------------------------------
+//
+// A note is a nonzero 64-bit word parked in the second half of a ring
+// entry, attributing in-flight slow-path work to one request:
+//
+//   [ marker:1 | phase:1 | kind:1 | slot:9 | seq:31 | aux:21 ]
+//
+// marker    always 1 so a live note is never mistaken for "no note".
+// phase     A (0) = revocable claim, the entry word is frozen but
+//           unchanged; B (1) = the commit happened in the same CAS2
+//           that wrote this note.
+// kind      0 enqueue, 1 dequeue (matches the request's ctl kind).
+// slot      owning ThreadRec slot (max_threads <= 512).
+// seq       low bits of the request sequence number, to tie the note
+//           to one incarnation of the record.
+// aux       enqueue claim: low bits of the target cycle; dequeue
+//           claim/commit: the consumed ring index (result transport).
+
+inline constexpr unsigned kNoteAuxBits = 21;
+inline constexpr unsigned kNoteSeqBits = 31;
+inline constexpr unsigned kNoteSlotBits = 9;
+inline constexpr std::uint64_t kNoteAuxMask =
+    (std::uint64_t{1} << kNoteAuxBits) - 1;
+inline constexpr std::uint64_t kNoteSeqMask =
+    (std::uint64_t{1} << kNoteSeqBits) - 1;
+inline constexpr std::uint64_t kNoteSlotMask =
+    (std::uint64_t{1} << kNoteSlotBits) - 1;
+inline constexpr unsigned kMaxNoteThreads = 1u << kNoteSlotBits;
+inline constexpr unsigned kMaxNoteOrder = kNoteAuxBits - 1;  // idx bits fit
+
+inline constexpr std::uint64_t pack_note(bool phase_b, bool deq,
+                                         std::uint64_t slot,
+                                         std::uint64_t seq,
+                                         std::uint64_t aux) {
+  return (std::uint64_t{1} << 63) |
+         (static_cast<std::uint64_t>(phase_b) << 62) |
+         (static_cast<std::uint64_t>(deq) << 61) |
+         ((slot & kNoteSlotMask) << (kNoteSeqBits + kNoteAuxBits)) |
+         ((seq & kNoteSeqMask) << kNoteAuxBits) | (aux & kNoteAuxMask);
+}
+inline constexpr bool note_phase_b(std::uint64_t n) {
+  return ((n >> 62) & 1u) != 0;
+}
+inline constexpr bool note_deq(std::uint64_t n) {
+  return ((n >> 61) & 1u) != 0;
+}
+inline constexpr std::uint64_t note_slot(std::uint64_t n) {
+  return (n >> (kNoteSeqBits + kNoteAuxBits)) & kNoteSlotMask;
+}
+inline constexpr std::uint64_t note_seq(std::uint64_t n) {
+  return (n >> kNoteAuxBits) & kNoteSeqMask;
+}
+inline constexpr std::uint64_t note_aux(std::uint64_t n) {
+  return n & kNoteAuxMask;
+}
+
+// ---- result word -----------------------------------------------------
+//
+// A dequeue's result travels through the request's 64-bit result word
+// as [ seq:42 | value:22 ]. The owner publishes {seq, kResultNone};
+// finalizers CAS {seq, kResultNone} -> {seq, index}, so a stale
+// finalizer of an earlier incarnation can never clobber a successor
+// operation's result (its expected seq no longer matches), and exactly
+// one delivery per incarnation succeeds. Ring indices are at most 21
+// bits (kMaxNoteOrder), so they never collide with the sentinel.
+
+inline constexpr unsigned kResultValBits = 22;
+inline constexpr std::uint64_t kResultValMask =
+    (std::uint64_t{1} << kResultValBits) - 1;
+inline constexpr std::uint64_t kResultNone = kResultValMask;
+
+inline constexpr std::uint64_t pack_result(std::uint64_t seq,
+                                           std::uint64_t val) {
+  return (seq << kResultValBits) | (val & kResultValMask);
+}
+inline constexpr std::uint64_t result_val(std::uint64_t r) {
+  return r & kResultValMask;
+}
+
+// ---- request control word -------------------------------------------
+//
+// Every thread record owns one RingRequest whose 64-bit ctl word is
+// the request's whole lifecycle, advanced by CAS from any thread:
+//
+//   [ seq:37 | j:22 | ring:1 | kind:1 | state:3 ]
+//
+// state     Idle -> Pending -> Phase2 -> DoneOk | DoneEmpty.
+//           Phase2 and DoneOk carry j, the ring slot the operation
+//           committed (or will commit) at; exactly one Pending->Phase2
+//           transition ever succeeds per seq, which is what makes the
+//           commit single despite any number of concurrent helpers.
+// ring      which of the queue's two rings (0 = aq, 1 = fq).
+// kind      0 enqueue-index, 1 dequeue-index.
+// seq       monotone per record; a note referencing an old seq is
+//           stale by definition and safely revocable.
+
+inline constexpr std::uint64_t kReqIdle = 0;
+inline constexpr std::uint64_t kReqPending = 1;
+inline constexpr std::uint64_t kReqPhase2 = 2;
+inline constexpr std::uint64_t kReqDoneOk = 3;
+inline constexpr std::uint64_t kReqDoneEmpty = 4;
+
+inline constexpr unsigned kCtlStateBits = 3;
+inline constexpr unsigned kCtlJBits = 22;
+inline constexpr std::uint64_t kCtlStateMask =
+    (std::uint64_t{1} << kCtlStateBits) - 1;
+inline constexpr std::uint64_t kCtlJMask = (std::uint64_t{1} << kCtlJBits) - 1;
+
+inline constexpr std::uint64_t pack_ctl(std::uint64_t seq, std::uint64_t j,
+                                        bool fq_ring, bool deq,
+                                        std::uint64_t state) {
+  return (seq << (kCtlJBits + 2 + kCtlStateBits)) |
+         ((j & kCtlJMask) << (2 + kCtlStateBits)) |
+         (static_cast<std::uint64_t>(fq_ring) << (1 + kCtlStateBits)) |
+         (static_cast<std::uint64_t>(deq) << kCtlStateBits) |
+         (state & kCtlStateMask);
+}
+inline constexpr std::uint64_t ctl_state(std::uint64_t c) {
+  return c & kCtlStateMask;
+}
+inline constexpr bool ctl_deq(std::uint64_t c) {
+  return ((c >> kCtlStateBits) & 1u) != 0;
+}
+inline constexpr bool ctl_fq(std::uint64_t c) {
+  return ((c >> (1 + kCtlStateBits)) & 1u) != 0;
+}
+inline constexpr std::uint64_t ctl_j(std::uint64_t c) {
+  return (c >> (2 + kCtlStateBits)) & kCtlJMask;
+}
+inline constexpr std::uint64_t ctl_seq(std::uint64_t c) {
+  return c >> (kCtlJBits + 2 + kCtlStateBits);
+}
+// Same seq/ring/kind, new j + state.
+inline constexpr std::uint64_t ctl_with(std::uint64_t c, std::uint64_t j,
+                                        std::uint64_t state) {
+  return pack_ctl(ctl_seq(c), j, ctl_fq(c), ctl_deq(c), state);
+}
+// Does note `n` reference the request incarnation `c` is showing?
+inline constexpr bool note_matches_ctl(std::uint64_t n, std::uint64_t c) {
+  return note_seq(n) == (ctl_seq(c) & kNoteSeqMask) &&
+         note_deq(n) == ctl_deq(c) && ctl_state(c) != kReqIdle;
 }
 
 }  // namespace wcq::detail

@@ -75,15 +75,6 @@ class FaaQueue {
   // False iff the queue is empty.
   bool try_pop(std::uint64_t* v, Handle&) { return pop_impl(v); }
 
-  // Pre-facade spellings, kept one PR for out-of-tree callers.
-  [[deprecated("use try_push")]] bool enqueue(std::uint64_t v) {
-    return push_impl(v);
-  }
-
-  [[deprecated("use try_pop")]] bool dequeue(std::uint64_t* v) {
-    return pop_impl(v);
-  }
-
  private:
   bool push_impl(std::uint64_t v) {
     assert(v < kTakenCell && "sentinel values cannot be enqueued");

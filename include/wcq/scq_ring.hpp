@@ -1,23 +1,62 @@
-// The SCQ ring (Nikolaev, DISC 2019) that wCQ extends: a lock-free
-// bounded FIFO of small indices. A ring of 2n 64-bit entries backs a
-// queue of capacity n; Head/Tail are FAA'd position counters whose
-// quotient by the ring size is the entry's expected "cycle". The
-// `threshold` counter gives dequeuers a constant-time empty exit, and
-// Cache_Remap spreads consecutive positions across cache lines.
+// The SCQ ring (Nikolaev, DISC 2019) that wCQ extends: a bounded FIFO
+// of small indices. A ring of 2n entries backs a queue of capacity n;
+// Head/Tail are FAA'd position counters whose quotient by the ring
+// size is the entry's expected "cycle". The `threshold` counter gives
+// dequeuers a constant-time empty exit, and Cache_Remap spreads
+// consecutive positions across cache lines.
 //
-// Entry layout (64 bits):   [ cycle | is_safe (1 bit) | index ]
+// Two instantiations share the state machine:
+//
+//   ScqRingT<false> ("ScqRing")  64-bit entries, lock-free — plain SCQ.
+//   ScqRingT<true>  ("WcqRing")  128-bit {word, note} entries mutated
+//       by CAS2 — the wCQ ring (SPAA 2022, Figures 4-7). The second
+//       word parks *notes*: revocable claims and committed results of
+//       the cooperative slow path, so that any number of helpers can
+//       advance one stalled operation and the commit still happens
+//       exactly once (the CAS2 that flips a claim note to its phase-B
+//       form is the only way the entry word changes while claimed).
+//
+// Word layout (64 bits):   [ cycle | is_safe (1 bit) | index ]
 // where index occupies order+1 bits and all-ones means "empty" (BOT).
+//
+// Slow-path lifecycle of one request (RingRequest, one per thread):
+//   Pending   helpers scan from req.pos; an eligible entry is *claimed*
+//             with a phase-A note (word unchanged, now frozen: every
+//             word mutation is a CAS2 expecting note == 0).
+//   Phase2    the unique winner of the Pending->Phase2 ctl CAS names
+//             the committing slot j; claims parked anywhere else are
+//             revoked. Any helper then *commits* at j: one CAS2 flips
+//             the phase-A note to phase-B and applies the word change
+//             (install for enqueue, consume for dequeue).
+//   DoneOk    any helper seeing the phase-B note delivers the result
+//             (dequeue: the index rides in the note) and finalizes the
+//             ctl; the note is then retired by one CAS2.
+//   DoneEmpty dequeue-only: the threshold ran out first. Outstanding
+//             phase-A claims are revoked lazily by whoever touches
+//             them — a claim never changed the entry word, so revoking
+//             is always safe, even for notes of long-dead requests.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 
 #include "wcq/detail.hpp"
 #include "wcq/mem.hpp"
 
 namespace wcq {
 
-class ScqRing {
+// Published state of one in-flight slow-path ring operation. Owned by
+// one thread record, read and CAS-advanced by every helper.
+struct alignas(detail::kNoFalseSharing) RingRequest {
+  std::atomic<std::uint64_t> ctl{0};     // packed seq/j/ring/kind/state
+  std::atomic<std::uint64_t> arg{0};     // enqueue: index to insert
+  std::atomic<std::uint64_t> result{0};  // dequeue: index obtained
+  std::atomic<std::uint64_t> pos{0};     // shared scan position (hint)
+};
+
+template <bool Noted>
+class ScqRingT {
  public:
   enum Result : int {
     kOk = 0,
@@ -30,8 +69,14 @@ class ScqRing {
   // Capacity is 2^order indices; the ring itself has 2^(order+1)
   // entries. `remap` toggles Cache_Remap; `portable_consume` replaces
   // the fetch_or consume with a CAS loop, mimicking the LL/SC-friendly
-  // portable build of the paper's Section 4.
-  ScqRing(unsigned order, bool remap, bool portable_consume)
+  // portable build of the paper's Section 4 (the noted ring's consume
+  // is already a CAS2, so it only keeps the flag for interface parity).
+  // `reqs` is the queue's RingRequest array, which notes reference by
+  // slot; required iff Noted. `is_fq` is the ring's identity bit in
+  // request ctl words (0 = free-index ring aq, 1 = value ring fq), so
+  // helpers never step a request against the wrong ring.
+  ScqRingT(unsigned order, bool remap, bool portable_consume,
+           RingRequest* reqs = nullptr, bool is_fq = false)
       : order_(order),
         n_(std::uint64_t{1} << order),
         ring_size_(n_ * 2),
@@ -39,11 +84,15 @@ class ScqRing {
         idx_mask_((std::uint64_t{1} << (order + 1)) - 1),
         threshold_init_(static_cast<std::int64_t>(ring_size_ + n_ - 1)),
         remap_(remap && order + 1 > kLineBits),
-        portable_consume_(portable_consume) {
-    entries_ = static_cast<std::atomic<std::uint64_t>*>(
-        mem::alloc(ring_size_ * sizeof(std::atomic<std::uint64_t>)));
+        portable_consume_(portable_consume),
+        reqs_(reqs),
+        is_fq_(is_fq) {
+    entries_ = static_cast<Entry*>(mem::alloc(ring_size_ * sizeof(Entry)));
     for (std::uint64_t j = 0; j < ring_size_; ++j) {
-      entries_[j].store(pack(0, true, kBot()), std::memory_order_relaxed);
+      entries_[j].word.store(pack(0, true, kBot()), std::memory_order_relaxed);
+      if constexpr (Noted) {
+        entries_[j].note.store(0, std::memory_order_relaxed);
+      }
     }
     // Start positions at ring_size so live cycles begin at 1 and are
     // always distinguishable from the zero-initialised entries.
@@ -52,14 +101,15 @@ class ScqRing {
     threshold_.store(-1, std::memory_order_relaxed);
   }
 
-  ~ScqRing() {
-    mem::free(entries_, ring_size_ * sizeof(std::atomic<std::uint64_t>));
-  }
+  ~ScqRingT() { mem::free(entries_, ring_size_ * sizeof(Entry)); }
 
-  ScqRing(const ScqRing&) = delete;
-  ScqRing& operator=(const ScqRing&) = delete;
+  ScqRingT(const ScqRingT&) = delete;
+  ScqRingT& operator=(const ScqRingT&) = delete;
 
   std::uint64_t capacity() const { return n_; }
+
+  std::uint64_t head() const { return head_.load(std::memory_order_seq_cst); }
+  std::uint64_t tail() const { return tail_.load(std::memory_order_seq_cst); }
 
   // Enqueue an index in [0, capacity). As long as at most `capacity`
   // indices are live the ring always has room, so the only non-kOk
@@ -69,19 +119,21 @@ class ScqRing {
       const std::uint64_t t = tail_.fetch_add(1, std::memory_order_seq_cst);
       const std::uint64_t tcycle = cycle_of(t);
       const std::uint64_t j = remap(t);
-      std::uint64_t e = entries_[j].load(std::memory_order_acquire);
       for (;;) {
+        const std::uint64_t e =
+            entries_[j].word.load(std::memory_order_acquire);
         if (cycle_of_entry(e) < tcycle && idx_of_entry(e) == kBot() &&
             (is_safe(e) || head_.load(std::memory_order_seq_cst) <= t)) {
-          const std::uint64_t fresh = pack(tcycle, true, eidx);
-          if (!entries_[j].compare_exchange_weak(e, fresh,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_acquire)) {
+          if (!word_cas(j, e, pack(tcycle, true, eidx))) {
+            if constexpr (Noted) {
+              // A parked note freezes the word; resolve it, then retry.
+              const std::uint64_t n =
+                  entries_[j].note.load(std::memory_order_acquire);
+              if (n != 0) help_note(j, n);
+            }
             continue;  // entry changed under us; re-evaluate
           }
-          if (threshold_.load(std::memory_order_seq_cst) != threshold_init_) {
-            threshold_.store(threshold_init_, std::memory_order_seq_cst);
-          }
+          reset_threshold();
           return kOk;
         }
         break;  // position unusable, take the next one
@@ -100,12 +152,23 @@ class ScqRing {
       const std::uint64_t h = head_.fetch_add(1, std::memory_order_seq_cst);
       const std::uint64_t hcycle = cycle_of(h);
       const std::uint64_t j = remap(h);
-      std::uint64_t e = entries_[j].load(std::memory_order_acquire);
       bool advanced = false;
       for (;;) {
+        const std::uint64_t e =
+            entries_[j].word.load(std::memory_order_acquire);
         const std::uint64_t ecycle = cycle_of_entry(e);
-        if (ecycle == hcycle) {
-          consume(j, e);
+        if (ecycle == hcycle && idx_of_entry(e) != kBot()) {
+          if (!consume(j, e)) {
+            if constexpr (Noted) {
+              // Claimed by a slow-path request sharing this position:
+              // help it through; the value goes to the request and the
+              // re-read will see a consumed entry (our ticket is spent).
+              const std::uint64_t n =
+                  entries_[j].note.load(std::memory_order_acquire);
+              if (n != 0) help_note(j, n);
+            }
+            continue;
+          }
           *out = idx_of_entry(e);
           return kOk;
         }
@@ -116,12 +179,17 @@ class ScqRing {
               idx_of_entry(e) == kBot()
                   ? pack(hcycle, is_safe(e), kBot())
                   : pack(ecycle, false, idx_of_entry(e));
-          if (!entries_[j].compare_exchange_weak(e, fresh,
-                                                 std::memory_order_acq_rel,
-                                                 std::memory_order_acquire)) {
+          if (!word_cas(j, e, fresh)) {
+            if constexpr (Noted) {
+              const std::uint64_t n =
+                  entries_[j].note.load(std::memory_order_acquire);
+              if (n != 0) help_note(j, n);
+            }
             continue;
           }
         }
+        // ecycle == hcycle with BOT (a slow-path consume spent this
+        // position first) and ecycle > hcycle both land here too.
         advanced = true;
         break;
       }
@@ -140,9 +208,55 @@ class ScqRing {
     return kContended;
   }
 
+  // ---- cooperative slow path (Noted only) ---------------------------
+
+  // Drive `r`'s published operation until its state leaves
+  // {Pending, Phase2}. The owner and any number of helpers run this
+  // concurrently; every step is a CAS on shared state, so all of them
+  // make progress on the *same* request — nobody claims it exclusively.
+  void help_slow(RingRequest* r)
+    requires(Noted)
+  {
+    for (;;) {
+      const std::uint64_t c = r->ctl.load(std::memory_order_acquire);
+      const std::uint64_t st = detail::ctl_state(c);
+      if (st != detail::kReqPending && st != detail::kReqPhase2) {
+        return;  // done (or already reused)
+      }
+      if (detail::ctl_fq(c) != is_fq_) return;  // request moved rings
+      if (st == detail::kReqPhase2) {
+        // Commit slot decided: converge on j until the note retires.
+        const std::uint64_t j = detail::ctl_j(c);
+        const std::uint64_t n =
+            entries_[j].note.load(std::memory_order_acquire);
+        if (n != 0) {
+          help_note(j, n);
+        } else {
+          detail::cpu_pause();  // read skew; the ctl re-load resolves it
+        }
+        continue;
+      }
+      if (detail::ctl_deq(c)) {
+        step_dequeue(r, c);
+      } else {
+        step_enqueue(r, c);
+      }
+    }
+  }
+
  private:
+  struct PlainEntry {
+    std::atomic<std::uint64_t> word;
+  };
+  struct alignas(16) NotedEntry {
+    std::atomic<std::uint64_t> word;
+    std::atomic<std::uint64_t> note;
+  };
+  using Entry = std::conditional_t<Noted, NotedEntry, PlainEntry>;
+  static_assert(!Noted || sizeof(NotedEntry) == sizeof(detail::Pair));
+
   static constexpr unsigned kLineBits =
-      detail::log2_pow2(detail::kCacheLine / sizeof(std::uint64_t));
+      detail::log2_pow2(detail::kCacheLine / sizeof(Entry));
 
   std::uint64_t kBot() const { return idx_mask_; }
 
@@ -162,27 +276,68 @@ class ScqRing {
   std::uint64_t idx_of_entry(std::uint64_t e) const { return e & idx_mask_; }
 
   // Cache_Remap: permute positions so consecutive Head/Tail positions
-  // land on distinct cache lines (8 eight-byte entries per line).
+  // land on distinct cache lines.
   std::uint64_t remap(std::uint64_t pos) const {
     const std::uint64_t masked = pos & (ring_size_ - 1);
     if (!remap_) return masked;
     const unsigned order2 = order_ + 1;  // log2(ring_size_)
-    return ((masked >> (order2 - kLineBits)) |
-            (masked << kLineBits)) &
+    return ((masked >> (order2 - kLineBits)) | (masked << kLineBits)) &
            (ring_size_ - 1);
   }
 
-  // Mark the entry consumed (index -> BOT) keeping cycle and safe bit.
-  void consume(std::uint64_t j, std::uint64_t seen) {
-    if (!portable_consume_) {
-      entries_[j].fetch_or(kBot(), std::memory_order_acq_rel);
-      return;
+  // Inverse permutation: the slow path reconstructs a position from
+  // (cycle, slot) when bumping Head/Tail past a committed operation.
+  std::uint64_t unremap(std::uint64_t j) const {
+    if (!remap_) return j;
+    const unsigned order2 = order_ + 1;
+    return ((j << (order2 - kLineBits)) | (j >> kLineBits)) &
+           (ring_size_ - 1);
+  }
+
+  // Word-only CAS. In the noted ring every plain word mutation expects
+  // note == 0, which is what freezes a claimed entry.
+  bool word_cas(std::uint64_t j, std::uint64_t expected,
+                std::uint64_t desired) {
+    if constexpr (Noted) {
+      return pair_cas(j, {expected, 0}, {desired, 0});
+    } else {
+      std::uint64_t e = expected;
+      return entries_[j].word.compare_exchange_strong(
+          e, desired, std::memory_order_acq_rel, std::memory_order_acquire);
     }
-    // Portable build: single-width CAS loop (LL/SC-emulation shape).
-    std::uint64_t e = seen;
-    while (!entries_[j].compare_exchange_weak(e, e | kBot(),
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_acquire)) {
+  }
+
+  bool pair_cas(std::uint64_t j, detail::Pair expected, detail::Pair desired)
+    requires(Noted)
+  {
+    detail::Pair* addr = reinterpret_cast<detail::Pair*>(&entries_[j]);
+    return portable_consume_ ? detail::cas2_portable(addr, &expected, desired)
+                             : detail::cas2(addr, &expected, desired);
+  }
+
+  // Mark the entry consumed (index -> BOT) keeping cycle and safe bit.
+  // Returns false when the entry moved (noted ring: possibly because a
+  // note is parked on it) — the caller re-evaluates.
+  bool consume(std::uint64_t j, std::uint64_t seen) {
+    if constexpr (Noted) {
+      return word_cas(j, seen, seen | kBot());
+    } else if (!portable_consume_) {
+      entries_[j].word.fetch_or(kBot(), std::memory_order_acq_rel);
+      return true;
+    } else {
+      // Portable build: single-width CAS loop (LL/SC-emulation shape).
+      std::uint64_t e = seen;
+      while (!entries_[j].word.compare_exchange_weak(
+          e, e | kBot(), std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+      }
+      return true;
+    }
+  }
+
+  void reset_threshold() {
+    if (threshold_.load(std::memory_order_seq_cst) != threshold_init_) {
+      threshold_.store(threshold_init_, std::memory_order_seq_cst);
     }
   }
 
@@ -195,6 +350,244 @@ class ScqRing {
     }
   }
 
+  // CAS-max a position counter forward; bounded because every failure
+  // means someone else advanced it.
+  static void bump(std::atomic<std::uint64_t>& ctr, std::uint64_t target) {
+    std::uint64_t c = ctr.load(std::memory_order_seq_cst);
+    while (c < target &&
+           !ctr.compare_exchange_weak(c, target, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+    }
+  }
+
+  // ---- note resolution (Noted only) ---------------------------------
+
+  std::uint64_t slot_of(const RingRequest* r) const {
+    return static_cast<std::uint64_t>(r - reqs_);
+  }
+
+  // Resolve whatever note is parked at slot j: advance the owning
+  // request one step (commit decision, commit, result delivery) or
+  // clear the note if its request is over. Callers loop; every call
+  // makes global progress or observes someone else's.
+  void help_note(std::uint64_t j, std::uint64_t n)
+    requires(Noted)
+  {
+    RingRequest* r = &reqs_[detail::note_slot(n)];
+    const std::uint64_t c = r->ctl.load(std::memory_order_acquire);
+    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
+    if (!detail::note_matches_ctl(n, c)) {
+      // Stale note of a finished request. Phase-A never changed the
+      // word, and a phase-B note's result was delivered before its
+      // owner could retire the request, so clearing is always safe.
+      pair_cas(j, {w, n}, {w, 0});
+      return;
+    }
+    const std::uint64_t st = detail::ctl_state(c);
+    if (st == detail::kReqPending) {
+      // A claim exists but no commit slot is decided: propose this one.
+      // Exactly one Pending->Phase2 transition per seq ever succeeds.
+      if (!detail::note_phase_b(n)) {
+        std::uint64_t expc = c;
+        r->ctl.compare_exchange_strong(
+            expc, detail::ctl_with(c, j, detail::kReqPhase2),
+            std::memory_order_acq_rel, std::memory_order_acquire);
+      }
+      return;
+    }
+    if (st == detail::kReqPhase2) {
+      if (detail::ctl_j(c) != j) {
+        // A claim that lost the commit decision: revoke it.
+        if (!detail::note_phase_b(n)) pair_cas(j, {w, n}, {w, 0});
+        return;
+      }
+      if (!detail::note_phase_b(n)) {
+        commit(r, j, n, w);
+      } else {
+        finalize(r, c, j, n);
+      }
+      return;
+    }
+    // Terminal state (DoneOk / DoneEmpty): phase-B notes are retired,
+    // phase-A claims revoked — both are "clear the note, keep the word".
+    pair_cas(j, {w, n}, {w, 0});
+  }
+
+  // Apply the committed operation at slot j: one CAS2 flips the
+  // phase-A claim to phase-B and performs the word change. Exactly one
+  // such CAS2 can succeed; racing helpers fail benignly and re-read.
+  void commit(RingRequest* r, std::uint64_t j, std::uint64_t n,
+              std::uint64_t w)
+    requires(Noted)
+  {
+    const std::uint64_t slot = detail::note_slot(n);
+    const std::uint64_t seq = detail::note_seq(n);
+    if (detail::note_deq(n)) {
+      // Consume: the index rides into the phase-B note so the result
+      // survives even if this helper stalls right after the CAS2.
+      const std::uint64_t x = detail::note_aux(n);
+      const std::uint64_t consumed = (w & ~idx_mask_) | kBot();
+      if (pair_cas(j, {w, n},
+                   {consumed, detail::pack_note(true, true, slot, seq, x)})) {
+        bump(head_, (cycle_of_entry(w) << (order_ + 1)) + unremap(j) + 1);
+      }
+      return;
+    }
+    // Install: reconstruct the claim's target cycle from its low bits
+    // (the claim guaranteed the gap to the frozen word's cycle fits).
+    const std::uint64_t low = detail::note_aux(n);
+    const std::uint64_t wc = cycle_of_entry(w);
+    std::uint64_t tcycle = (wc & ~detail::kNoteAuxMask) | low;
+    if (tcycle <= wc) tcycle += detail::kNoteAuxMask + 1;
+    const std::uint64_t eidx = r->arg.load(std::memory_order_acquire);
+    if (pair_cas(j, {w, n},
+                 {pack(tcycle, true, eidx),
+                  detail::pack_note(true, false, slot, seq, eidx)})) {
+      reset_threshold();
+      bump(tail_, (tcycle << (order_ + 1)) + unremap(j) + 1);
+    }
+  }
+
+  // Deliver the result and finalize the ctl, then retire the phase-B
+  // note. Every step is idempotent-by-CAS; any helper may run it. The
+  // result CAS is seq-tagged so a finalizer that stalled here for a
+  // whole operation lifetime cannot clobber a successor's result.
+  void finalize(RingRequest* r, std::uint64_t c, std::uint64_t j,
+                std::uint64_t n)
+    requires(Noted)
+  {
+    const std::uint64_t seq = detail::ctl_seq(c);
+    if (detail::ctl_deq(c)) {
+      std::uint64_t expr = detail::pack_result(seq, detail::kResultNone);
+      r->result.compare_exchange_strong(
+          expr, detail::pack_result(seq, detail::note_aux(n)),
+          std::memory_order_acq_rel, std::memory_order_acquire);
+    }
+    // Result is in place (by us or a sibling) before the ctl goes
+    // terminal, so the owner can read it with a single load.
+    std::uint64_t expc = c;
+    r->ctl.compare_exchange_strong(expc,
+                                   detail::ctl_with(c, j, detail::kReqDoneOk),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+    // Ctl is now terminal (by us or a sibling); retire the note. A
+    // failed CAS just leaves the now-stale note for any toucher.
+    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
+    pair_cas(j, {w, n}, {w, 0});
+  }
+
+  // One Pending-state step of a slow dequeue: claim a value, account
+  // an empty position, or finalize empty. Mirrors the fast path's
+  // threshold rules with req.pos as the shared ticket.
+  void step_dequeue(RingRequest* r, std::uint64_t c)
+    requires(Noted)
+  {
+    if (threshold_.load(std::memory_order_seq_cst) < 0) {
+      try_finalize_empty(r, c);
+      return;
+    }
+    const std::uint64_t p = r->pos.load(std::memory_order_acquire);
+    const std::uint64_t pcycle = cycle_of(p);
+    const std::uint64_t j = remap(p);
+    const std::uint64_t n = entries_[j].note.load(std::memory_order_acquire);
+    if (n != 0) {
+      help_note(j, n);  // ours: drives the commit decision; foreign: unblocks
+      return;
+    }
+    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
+    const std::uint64_t ec = cycle_of_entry(w);
+    if (ec == pcycle && idx_of_entry(w) != kBot()) {
+      // Claim the value: word frozen, index recorded in the note.
+      pair_cas(j, {w, 0},
+               {w, detail::pack_note(false, true, slot_of(r),
+                                     detail::ctl_seq(c), idx_of_entry(w))});
+      return;
+    }
+    if (ec > pcycle) {
+      // Our scan position fell behind the ring; jump it forward.
+      advance_pos(r, p, head_.load(std::memory_order_seq_cst));
+      return;
+    }
+    if (ec < pcycle) {
+      const std::uint64_t fresh =
+          idx_of_entry(w) == kBot() ? pack(pcycle, is_safe(w), kBot())
+                                    : pack(ec, false, idx_of_entry(w));
+      if (!word_cas(j, w, fresh)) return;
+    }
+    // Position spent (advanced, or consumed at our cycle). The winner
+    // of the pos CAS is the sole accountant for it, so the threshold
+    // is decremented once per position like the fast path.
+    if (advance_pos(r, p, p + 1)) {
+      const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+      if (t <= p + 1) {
+        catchup(t, p + 1);
+        threshold_.fetch_sub(1, std::memory_order_seq_cst);
+        try_finalize_empty(r, c);
+      } else if (threshold_.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        try_finalize_empty(r, c);
+      }
+    }
+  }
+
+  // One Pending-state step of a slow enqueue: claim an eligible empty
+  // entry or advance the scan. Never finalizes empty — both rings of
+  // the queue construction have guaranteed room for their index.
+  void step_enqueue(RingRequest* r, std::uint64_t c)
+    requires(Noted)
+  {
+    const std::uint64_t p = r->pos.load(std::memory_order_acquire);
+    const std::uint64_t pcycle = cycle_of(p);
+    const std::uint64_t j = remap(p);
+    const std::uint64_t n = entries_[j].note.load(std::memory_order_acquire);
+    if (n != 0) {
+      help_note(j, n);
+      return;
+    }
+    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
+    const std::uint64_t ec = cycle_of_entry(w);
+    if (ec < pcycle && idx_of_entry(w) == kBot() &&
+        (is_safe(w) || head_.load(std::memory_order_seq_cst) <= p)) {
+      if (pcycle - ec > detail::kNoteAuxMask) {
+        // Ancient entry: the claim's aux bits could not reconstruct
+        // the target cycle unambiguously. Normalize first (advancing
+        // an empty entry's cycle is what dequeuers do all the time).
+        word_cas(j, w, pack(pcycle - 1, is_safe(w), kBot()));
+        return;
+      }
+      // Claim: word frozen, target cycle's low bits recorded.
+      pair_cas(j, {w, 0},
+               {w, detail::pack_note(false, false, slot_of(r),
+                                     detail::ctl_seq(c),
+                                     pcycle & detail::kNoteAuxMask)});
+      return;
+    }
+    std::uint64_t next = p + 1;
+    if (ec > pcycle) {
+      // Scan fell behind; jump toward the live tail.
+      const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+      if (t > next) next = t;
+    }
+    advance_pos(r, p, next);
+  }
+
+  bool advance_pos(RingRequest* r, std::uint64_t p, std::uint64_t target)
+    requires(Noted)
+  {
+    if (target <= p) target = p + 1;
+    return r->pos.compare_exchange_strong(p, target, std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  void try_finalize_empty(RingRequest* r, std::uint64_t c)
+    requires(Noted)
+  {
+    std::uint64_t expc = c;
+    r->ctl.compare_exchange_strong(expc,
+                                   detail::ctl_with(c, 0, detail::kReqDoneEmpty),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+  }
+
   const unsigned order_;
   const std::uint64_t n_;
   const std::uint64_t ring_size_;
@@ -203,12 +596,16 @@ class ScqRing {
   const std::int64_t threshold_init_;
   const bool remap_;
   const bool portable_consume_;
+  RingRequest* const reqs_;
+  const bool is_fq_;
 
   alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> head_{0};
   alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> tail_{0};
   alignas(detail::kNoFalseSharing) std::atomic<std::int64_t> threshold_{-1};
-  alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t>* entries_ =
-      nullptr;
+  alignas(detail::kNoFalseSharing) Entry* entries_ = nullptr;
 };
+
+using ScqRing = ScqRingT<false>;
+using WcqRing = ScqRingT<true>;
 
 }  // namespace wcq

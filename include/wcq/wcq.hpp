@@ -1,22 +1,24 @@
 // wCQ (Nikolaev & Ravindran, SPAA 2022): a wait-free bounded queue
 // built on the SCQ ring. The fast path is SCQ with bounded patience
 // (Section 6 uses 16 enqueue / 64 dequeue attempts); when patience
-// runs out the operation is published in the thread's handle record
-// and completed through helping, so a thread starved by FAA races
-// still finishes. Threads check one peer for a pending request every
-// `help_delay` own operations ("to amortize the cost of help_threads",
-// Section 3.1).
+// runs out the operation is published as a RingRequest and completed
+// through the paper's cooperative note protocol (Figures 4-7): every
+// ring entry carries a note word next to it, claims and commits are
+// double-width CASes, and *any* number of threads — the owner plus
+// every helper that notices the request — advance the same pending
+// operation concurrently. No thread ever takes exclusive ownership of
+// a request; the commit is made unique by a single Pending->Phase2
+// transition on the request's ctl word, not by an executor claim.
+// Threads check one peer for a pending request every `help_delay` own
+// operations ("to amortize the cost of help_threads", Section 3.1).
 //
-// Fidelity note: the paper completes a stuck operation cooperatively
-// with double-width CASes and per-entry note fields (Figures 4-7) so
-// *any* number of helpers make progress on the same request. This
-// reproduction uses single-executor delegation: the request is claimed
-// (request-state CAS) by exactly one thread — owner or helper — which
-// then runs the lock-free path to completion and publishes the result.
-// The observable structure (handles, patience, help_delay, slow-path
-// counters, finalization via the request state) matches the paper; the
-// step-complexity bound is weaker. Replacing delegation with the CAS2
-// note protocol is tracked in ROADMAP.md.
+// A queue-level operation on the slow path is two ring-level requests
+// driven in order by the owner (enqueue: aq-dequeue a free index,
+// write data, fq-enqueue the index; dequeue mirrors it), each of which
+// is helpable by everyone while it is pending.
+//
+// Compile with -DWCQ_ALL_SLOW to skip the fast path entirely, so
+// every operation exercises the note protocol (test builds only).
 #pragma once
 
 #include <atomic>
@@ -25,10 +27,6 @@
 #include <optional>
 #include <stdexcept>
 #include <utility>
-
-#if defined(__linux__)
-#include <sched.h>
-#endif
 
 #include "wcq/detail.hpp"
 #include "wcq/handle.hpp"
@@ -46,9 +44,10 @@ struct WcqStats {
   std::uint64_t helps = 0;
 };
 
-// Portable=true models the Section 4 build for LL/SC machines: no
-// fetch_or on ring entries (CAS-loop consume) — the algorithmic shape
-// of the POWER version exercised on whatever ISA we run on.
+// Portable=true models the Section 4 build for LL/SC machines: every
+// double-width CAS goes through the compiler's 128-bit __atomic path
+// instead of the native cmpxchg16b — the algorithmic shape of the
+// POWER version exercised on whatever ISA we run on.
 template <bool Portable>
 struct WcqTestAccess;
 
@@ -72,14 +71,19 @@ class WcqQueueT {
   explicit WcqQueueT(const Config& cfg)
       : cfg_(sanitize(cfg)),
         n_(std::uint64_t{1} << cfg_.order),
-        aq_(cfg_.order, cfg_.remap, Portable),
-        fq_(cfg_.order, cfg_.remap, Portable),
+        reqs_(static_cast<RingRequest*>(
+            mem::alloc(cfg_.max_threads * sizeof(RingRequest)))),
+        aq_(cfg_.order, cfg_.remap, Portable, reqs_, /*is_fq=*/false),
+        fq_(cfg_.order, cfg_.remap, Portable, reqs_, /*is_fq=*/true),
         slots_(cfg_.max_threads) {
+    for (unsigned i = 0; i < cfg_.max_threads; ++i) {
+      new (&reqs_[i]) RingRequest();
+    }
     data_ = static_cast<std::atomic<std::uint64_t>*>(
         mem::alloc(n_ * sizeof(std::atomic<std::uint64_t>)));
     for (std::uint64_t i = 0; i < n_; ++i) {
       data_[i].store(0, std::memory_order_relaxed);
-      aq_.enqueue_idx(i, ScqRing::kUnbounded);
+      aq_.enqueue_idx(i, WcqRing::kUnbounded);
     }
     recs_ = static_cast<ThreadRec*>(
         mem::alloc(cfg_.max_threads * sizeof(ThreadRec)));
@@ -97,6 +101,8 @@ class WcqQueueT {
     for (unsigned i = 0; i < cfg_.max_threads; ++i) recs_[i].~ThreadRec();
     mem::free(recs_, cfg_.max_threads * sizeof(ThreadRec));
     mem::free(data_, n_ * sizeof(std::atomic<std::uint64_t>));
+    for (unsigned i = 0; i < cfg_.max_threads; ++i) reqs_[i].~RingRequest();
+    mem::free(reqs_, cfg_.max_threads * sizeof(RingRequest));
   }
 
   WcqQueueT(const WcqQueueT&) = delete;
@@ -128,66 +134,58 @@ class WcqQueueT {
     return std::move(*h);
   }
 
-  // Handles now recycle their slot on destruction, so the lifetime
-  // cap that motivated this name is gone.
-  [[deprecated("use get_handle()/try_get_handle()")]] Handle make_handle() {
-    return get_handle();
-  }
-
   // False iff the queue is full.
   bool try_push(std::uint64_t v, Handle& h) {
     ThreadRec* rec = h.rec_;
     maybe_help(rec);
+#if !defined(WCQ_ALL_SLOW)
     std::uint64_t idx = 0;
-    const ScqRing::Result rc =
-        aq_.dequeue_idx(&idx, cfg_.enqueue_patience);
-    if (rc == ScqRing::kEmpty) {
+    const WcqRing::Result rc = aq_.dequeue_idx(&idx, cfg_.enqueue_patience);
+    if (rc == WcqRing::kEmpty) {
       rec->fast_enq.fetch_add(1, std::memory_order_relaxed);
       return false;  // full: definitive, no slow path needed
     }
-    if (rc == ScqRing::kOk) {
+    if (rc == WcqRing::kOk) {
       data_[idx].store(v, std::memory_order_relaxed);
-      if (fq_.enqueue_idx(idx, cfg_.enqueue_patience) == ScqRing::kOk) {
+      if (fq_.enqueue_idx(idx, cfg_.enqueue_patience) == WcqRing::kOk) {
         rec->fast_enq.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
-      // We own the slot; ring enqueue cannot fail, only contend.
-      fq_.enqueue_idx(idx, ScqRing::kUnbounded);
+      // We already own the free index; only the second stage needs the
+      // cooperative path (a ring enqueue cannot fail, only contend).
       rec->slow_enq.fetch_add(1, std::memory_order_relaxed);
+      publish_ring_op(rec, /*fq_ring=*/true, /*deq=*/false, idx);
+      complete_ring_op(rec, nullptr);
       return true;
     }
+#endif
     rec->slow_enq.fetch_add(1, std::memory_order_relaxed);
-    return slow_op(rec, kPendingEnq, v, nullptr);
+    return slow_push(rec, v);
   }
 
   // False iff the queue is empty.
   bool try_pop(std::uint64_t* v, Handle& h) {
     ThreadRec* rec = h.rec_;
     maybe_help(rec);
+#if !defined(WCQ_ALL_SLOW)
     std::uint64_t idx = 0;
-    const ScqRing::Result rc =
-        fq_.dequeue_idx(&idx, cfg_.dequeue_patience);
-    if (rc == ScqRing::kEmpty) {
+    const WcqRing::Result rc = fq_.dequeue_idx(&idx, cfg_.dequeue_patience);
+    if (rc == WcqRing::kEmpty) {
       rec->fast_deq.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (rc == ScqRing::kOk) {
+    if (rc == WcqRing::kOk) {
       *v = data_[idx].load(std::memory_order_relaxed);
-      aq_.enqueue_idx(idx, ScqRing::kUnbounded);
+      if (aq_.enqueue_idx(idx, cfg_.enqueue_patience) != WcqRing::kOk) {
+        publish_ring_op(rec, /*fq_ring=*/false, /*deq=*/false, idx);
+        complete_ring_op(rec, nullptr);
+      }
       rec->fast_deq.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+#endif
     rec->slow_deq.fetch_add(1, std::memory_order_relaxed);
-    return slow_op(rec, kPendingDeq, 0, v);
-  }
-
-  // Pre-facade spellings, kept one PR for out-of-tree callers.
-  [[deprecated("use try_push")]] bool enqueue(std::uint64_t v, Handle& h) {
-    return try_push(v, h);
-  }
-
-  [[deprecated("use try_pop")]] bool dequeue(std::uint64_t* v, Handle& h) {
-    return try_pop(v, h);
+    return slow_pop(rec, v);
   }
 
   WcqStats stats() const {
@@ -207,30 +205,20 @@ class WcqQueueT {
   }
 
  private:
-  // Test-only backdoor (tests/test_helping.cpp): simulates a stalled
-  // thread by publishing a request without self-claiming, so the
+  // Test-only backdoor (tests/test_helping.cpp, test_slow_path.cpp):
+  // publishes a request without the owner driving it, so the
   // helper-completion path gets deterministic coverage.
   friend struct WcqTestAccess<Portable>;
 
-  // Request states. Owner publishes kPendingEnq/kPendingDeq; exactly
-  // one thread CASes it to kActive and finalizes with kDone*.
-  static constexpr std::uint64_t kIdle = 0;
-  static constexpr std::uint64_t kPendingEnq = 1;
-  static constexpr std::uint64_t kPendingDeq = 2;
-  static constexpr std::uint64_t kActive = 3;
-  static constexpr std::uint64_t kDoneOk = 4;
-  static constexpr std::uint64_t kDoneFail = 5;
-
   struct alignas(detail::kNoFalseSharing) ThreadRec {
-    std::atomic<std::uint64_t> state{kIdle};
-    std::atomic<std::uint64_t> arg{0};
-    std::atomic<std::uint64_t> result{0};
     std::atomic<std::uint64_t> fast_enq{0};
     std::atomic<std::uint64_t> slow_enq{0};
     std::atomic<std::uint64_t> fast_deq{0};
     std::atomic<std::uint64_t> slow_deq{0};
     std::atomic<std::uint64_t> helps{0};
-    // Owner-thread locals (never touched by helpers).
+    // Owner-thread locals (never touched by helpers). seq is only
+    // published through the RingRequest ctl word.
+    std::uint64_t seq = 0;
     std::uint64_t op_count = 0;
     unsigned help_cursor = 0;
   };
@@ -251,111 +239,113 @@ class WcqQueueT {
     if (cfg.dequeue_patience == 0) cfg.dequeue_patience = 1;
     if (cfg.help_delay == 0) cfg.help_delay = 1;
     if (cfg.max_threads == 0) cfg.max_threads = 1;
+    // Note words index threads by a 9-bit slot and carry ring indices
+    // in 21 aux bits; clamp so every note is representable.
+    if (cfg.max_threads > detail::kMaxNoteThreads) {
+      cfg.max_threads = detail::kMaxNoteThreads;
+    }
+    if (cfg.order > detail::kMaxNoteOrder) cfg.order = detail::kMaxNoteOrder;
     return cfg;
   }
 
   void release_rec(ThreadRec* rec) {
-    // The owner is past its last operation, so state is kIdle and no
-    // helper will claim this record; counters intentionally persist so
-    // stats() stays monotone across recycling.
+    // The owner is past its last operation, so its request is Idle and
+    // helpers ignore it; counters intentionally persist so stats()
+    // stays monotone across recycling.
     slots_.release(static_cast<unsigned>(rec - recs_));
   }
 
-  bool do_enqueue(std::uint64_t v) {
-    std::uint64_t idx = 0;
-    if (aq_.dequeue_idx(&idx, ScqRing::kUnbounded) == ScqRing::kEmpty) {
-      return false;
+  RingRequest* req_of(ThreadRec* rec) {
+    return &reqs_[static_cast<unsigned>(rec - recs_)];
+  }
+
+  // Publish one ring-level operation as this thread's request. Does
+  // not drive it: from this moment any helper can complete it.
+  void publish_ring_op(ThreadRec* rec, bool fq_ring, bool deq,
+                       std::uint64_t arg) {
+    RingRequest* r = req_of(rec);
+    const std::uint64_t seq = ++rec->seq;
+    r->arg.store(arg, std::memory_order_relaxed);
+    r->result.store(detail::pack_result(seq, detail::kResultNone),
+                    std::memory_order_relaxed);
+    WcqRing& ring = fq_ring ? fq_ : aq_;
+    r->pos.store(deq ? ring.head() : ring.tail(), std::memory_order_relaxed);
+    r->ctl.store(detail::pack_ctl(seq, 0, fq_ring, deq, detail::kReqPending),
+                 std::memory_order_release);
+  }
+
+  // Owner side: drive own request to a terminal state, harvest the
+  // result, and return the record to Idle. True iff DoneOk.
+  bool complete_ring_op(ThreadRec* rec, std::uint64_t* out) {
+    RingRequest* r = req_of(rec);
+    std::uint64_t c = r->ctl.load(std::memory_order_acquire);
+    (detail::ctl_fq(c) ? fq_ : aq_).help_slow(r);
+    c = r->ctl.load(std::memory_order_acquire);
+    const bool ok = detail::ctl_state(c) == detail::kReqDoneOk;
+    if (ok && out != nullptr) {
+      // finalize() CASed the seq-tagged result in before DoneOk.
+      *out = detail::result_val(r->result.load(std::memory_order_acquire));
     }
+    r->ctl.store(detail::ctl_with(c, 0, detail::kReqIdle),
+                 std::memory_order_release);
+    return ok;
+  }
+
+  // Helper side: drive a peer's request if it has one pending. Safe to
+  // call concurrently with the owner and other helpers; everyone
+  // advances the same shared state by CAS.
+  bool help_request(RingRequest* r) {
+    const std::uint64_t c = r->ctl.load(std::memory_order_acquire);
+    const std::uint64_t st = detail::ctl_state(c);
+    if (st != detail::kReqPending && st != detail::kReqPhase2) return false;
+    (detail::ctl_fq(c) ? fq_ : aq_).help_slow(r);
+    return true;
+  }
+
+  // Queue-level slow enqueue: two helpable ring requests in sequence.
+  bool slow_push(ThreadRec* rec, std::uint64_t v) {
+    std::uint64_t idx = 0;
+    publish_ring_op(rec, /*fq_ring=*/false, /*deq=*/true, 0);
+    if (!complete_ring_op(rec, &idx)) return false;  // aq empty: full
     data_[idx].store(v, std::memory_order_relaxed);
-    fq_.enqueue_idx(idx, ScqRing::kUnbounded);
+    publish_ring_op(rec, /*fq_ring=*/true, /*deq=*/false, idx);
+    complete_ring_op(rec, nullptr);  // ring enqueue cannot fail
     return true;
   }
 
-  bool do_dequeue(std::uint64_t* v) {
+  bool slow_pop(ThreadRec* rec, std::uint64_t* v) {
     std::uint64_t idx = 0;
-    if (fq_.dequeue_idx(&idx, ScqRing::kUnbounded) == ScqRing::kEmpty) {
-      return false;
-    }
+    publish_ring_op(rec, /*fq_ring=*/true, /*deq=*/true, 0);
+    if (!complete_ring_op(rec, &idx)) return false;  // empty
     *v = data_[idx].load(std::memory_order_relaxed);
-    aq_.enqueue_idx(idx, ScqRing::kUnbounded);
+    publish_ring_op(rec, /*fq_ring=*/false, /*deq=*/false, idx);
+    complete_ring_op(rec, nullptr);
     return true;
-  }
-
-  bool slow_op(ThreadRec* rec, std::uint64_t kind, std::uint64_t arg,
-               std::uint64_t* out) {
-    rec->arg.store(arg, std::memory_order_relaxed);
-    rec->state.store(kind, std::memory_order_release);
-    unsigned spins = 0;
-    for (;;) {
-      std::uint64_t s = rec->state.load(std::memory_order_acquire);
-      if (s == kind) {
-        // Unclaimed: claim our own request and run it.
-        if (rec->state.compare_exchange_strong(s, kActive,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire)) {
-          const bool ok =
-              kind == kPendingEnq ? do_enqueue(arg) : do_dequeue(out);
-          rec->state.store(kIdle, std::memory_order_release);
-          return ok;
-        }
-        continue;
-      }
-      if (s == kDoneOk || s == kDoneFail) {
-        if (kind == kPendingDeq && s == kDoneOk) {
-          *out = rec->result.load(std::memory_order_acquire);
-        }
-        rec->state.store(kIdle, std::memory_order_release);
-        return s == kDoneOk;
-      }
-      // kActive: a helper owns it; it finishes in a bounded number of
-      // its own steps.
-      detail::cpu_pause();
-      if (++spins == 1024) {
-        spins = 0;
-#if defined(__linux__)
-        // Be polite on small machines where the helper needs our core.
-        sched_yield();
-#endif
-      }
-    }
   }
 
   // Every help_delay own-operations, look at one peer (round-robin)
-  // and complete its pending request if nobody else has claimed it.
+  // and drive its pending request, if any, to completion.
   void maybe_help(ThreadRec* rec) {
     if (++rec->op_count % cfg_.help_delay != 0) return;
     const unsigned touched = slots_.high_water();
     if (touched <= 1) return;
-    ThreadRec* peer = &recs_[rec->help_cursor++ % touched];
-    if (peer == rec) {
+    unsigned peer = rec->help_cursor++ % touched;
+    if (&recs_[peer] == rec) {
       // Landing on our own record must still spend the round on a real
       // peer: consecutive cursor values differ mod touched (>= 2), so
       // one step forward is guaranteed to leave our record.
-      peer = &recs_[rec->help_cursor++ % touched];
+      peer = rec->help_cursor++ % touched;
     }
-    std::uint64_t s = peer->state.load(std::memory_order_acquire);
-    if (s != kPendingEnq && s != kPendingDeq) return;
-    if (!peer->state.compare_exchange_strong(s, kActive,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
-      return;
+    if (help_request(&reqs_[peer])) {
+      rec->helps.fetch_add(1, std::memory_order_relaxed);
     }
-    bool ok;
-    if (s == kPendingEnq) {
-      ok = do_enqueue(peer->arg.load(std::memory_order_relaxed));
-    } else {
-      std::uint64_t v = 0;
-      ok = do_dequeue(&v);
-      peer->result.store(v, std::memory_order_release);
-    }
-    peer->state.store(ok ? kDoneOk : kDoneFail, std::memory_order_release);
-    rec->helps.fetch_add(1, std::memory_order_relaxed);
   }
 
   const Config cfg_;
   const std::uint64_t n_;
-  ScqRing aq_;
-  ScqRing fq_;
+  RingRequest* const reqs_;  // shared by both rings, indexed by slot
+  WcqRing aq_;
+  WcqRing fq_;
   std::atomic<std::uint64_t>* data_ = nullptr;
   ThreadRec* recs_ = nullptr;
   SlotRegistry slots_;
@@ -403,6 +393,58 @@ class WcqQueueT<Portable>::Handle {
 
   WcqQueueT* q_ = nullptr;
   ThreadRec* rec_ = nullptr;
+};
+
+// Deterministic slow-path levers for the test suite: publish a request
+// exactly as a stalling owner would, let other handles help it, then
+// resume the owner. Mirrors WcqQueueT's own slow_push/slow_pop split.
+template <bool Portable>
+struct WcqTestAccess {
+  using Q = WcqQueueT<Portable>;
+  using H = typename Q::Handle;
+
+  // Owner published a slow pop (stage 1: fq dequeue) and stalled.
+  static void publish_stalled_pop(Q& q, H& h) {
+    q.publish_ring_op(h.rec_, /*fq_ring=*/true, /*deq=*/true, 0);
+  }
+
+  // Owner got its free index, wrote the value, published the fq
+  // enqueue (stage 2) — and stalled before driving it.
+  static void publish_stalled_push(Q& q, H& h, std::uint64_t v) {
+    std::uint64_t idx = 0;
+    q.aq_.dequeue_idx(&idx, WcqRing::kUnbounded);
+    q.data_[idx].store(v, std::memory_order_relaxed);
+    q.publish_ring_op(h.rec_, /*fq_ring=*/true, /*deq=*/false, idx);
+  }
+
+  // Helper-side single call: drive h's request as maybe_help would.
+  static bool help(Q& q, H& h) { return q.help_request(q.req_of(h.rec_)); }
+
+  static bool done_ok(Q& q, H& h) {
+    const std::uint64_t c =
+        q.req_of(h.rec_)->ctl.load(std::memory_order_acquire);
+    return detail::ctl_state(c) == detail::kReqDoneOk;
+  }
+
+  // Owner resumes a stalled pop: finish stage 1 (possibly already done
+  // by helpers), then run stage 2 (return the index to aq).
+  static bool finish_pop(Q& q, H& h, std::uint64_t* v) {
+    std::uint64_t idx = 0;
+    if (!q.complete_ring_op(h.rec_, &idx)) return false;
+    *v = q.data_[idx].load(std::memory_order_relaxed);
+    q.publish_ring_op(h.rec_, /*fq_ring=*/false, /*deq=*/false, idx);
+    q.complete_ring_op(h.rec_, nullptr);
+    return true;
+  }
+
+  // Owner resumes a stalled push: its stage 2 is the whole remainder.
+  static bool finish_push(Q& q, H& h) {
+    return q.complete_ring_op(h.rec_, nullptr);
+  }
+
+  static std::uint64_t helps(H& h) {
+    return h.rec_->helps.load(std::memory_order_relaxed);
+  }
 };
 
 using WcqQueue = WcqQueueT<false>;

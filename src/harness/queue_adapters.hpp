@@ -80,4 +80,9 @@ static_assert(concepts::Queue<LcrqAdapter>);
 static_assert(concepts::Queue<MsqAdapter>);
 static_assert(concepts::Queue<CrTurnAdapter>);
 
+// The ablation benches read fast/slow/help counters through the typed
+// facade; the wCQ entries must stay observable.
+static_assert(concepts::ObservableQueue<WcqAdapter>);
+static_assert(concepts::ObservableQueue<WcqPortableAdapter>);
+
 }  // namespace wcq::harness

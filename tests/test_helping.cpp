@@ -1,43 +1,12 @@
 // Deterministic coverage for wCQ's helper-completion path: the owner
-// publishes a request and then "stalls" (never self-claims, via the
+// publishes a ring request and then "stalls" (never drives it, via the
 // WcqTestAccess backdoor); a peer doing its own operations must pick
-// the request up through help_threads and finalize it. On real
-// schedules this window is nanoseconds wide, so timing alone cannot
-// exercise it — this is the wait-freedom scenario made reproducible.
+// the request up through help_threads and finalize it through the
+// note protocol. On real schedules this window is nanoseconds wide, so
+// timing alone cannot exercise it — this is the wait-freedom scenario
+// made reproducible.
 #include "queue_test_common.hpp"
 #include "wcq/wcq.hpp"
-
-namespace wcq {
-
-template <bool Portable>
-struct WcqTestAccess {
-  using Queue = WcqQueueT<Portable>;
-  using Handle = typename Queue::Handle;
-
-  static void publish_enqueue(Handle& h, std::uint64_t v) {
-    h.rec_->arg.store(v, std::memory_order_relaxed);
-    h.rec_->state.store(Queue::kPendingEnq, std::memory_order_release);
-  }
-  static void publish_dequeue(Handle& h) {
-    h.rec_->state.store(Queue::kPendingDeq, std::memory_order_release);
-  }
-  static bool done(Handle& h) {
-    const std::uint64_t s = h.rec_->state.load(std::memory_order_acquire);
-    return s == Queue::kDoneOk || s == Queue::kDoneFail;
-  }
-  static bool done_ok(Handle& h) {
-    return h.rec_->state.load(std::memory_order_acquire) == Queue::kDoneOk;
-  }
-  static std::uint64_t result(Handle& h) {
-    return h.rec_->result.load(std::memory_order_acquire);
-  }
-  static void reset(Handle& h) {
-    h.rec_->state.store(Queue::kIdle, std::memory_order_release);
-  }
-  static std::uint64_t helps(const Queue& q) { return q.stats().helps; }
-};
-
-}  // namespace wcq
 
 namespace {
 
@@ -50,20 +19,21 @@ void test_helper_completes_stalled_ops(const char* name) {
   auto stalled = q.get_handle();
   auto helper = q.get_handle();
 
-  // --- stalled enqueue(777): the helper's own (empty) dequeues must
-  // complete it, after which the value is really in the queue.
-  Access::publish_enqueue(stalled, 777);
+  // --- stalled enqueue(777): the owner already holds its free index
+  // and published the fq-enqueue request; the helper's own (empty)
+  // dequeues must complete it, after which the value is really queued.
+  Access::publish_stalled_push(q, stalled, 777);
   std::uint64_t v = 0;
   bool got777 = false;
   int spins = 0;
-  while (!Access::done(stalled)) {
+  while (!Access::done_ok(q, stalled)) {
     // The loop dequeue may consume 777 the moment the help lands.
     if (q.try_pop(&v, helper) && v == 777) got777 = true;
     WCQ_CHECK(++spins < 1000, "%s: helper never completed the enqueue",
               name);
   }
-  WCQ_CHECK(Access::done_ok(stalled), "%s: stalled enqueue failed", name);
-  Access::reset(stalled);
+  WCQ_CHECK(Access::finish_push(q, stalled), "%s: stalled enqueue failed",
+            name);
   if (!got777) {
     WCQ_CHECK(q.try_pop(&v, helper) && v == 777,
               "%s: helped enqueue value lost (got %llu)", name,
@@ -73,24 +43,26 @@ void test_helper_completes_stalled_ops(const char* name) {
   // --- stalled dequeue: put one value in, publish the request, and
   // drive the helper with enqueue/dequeue churn until it finalizes.
   WCQ_CHECK(q.try_push(888, helper), "%s: seed enqueue refused", name);
-  Access::publish_dequeue(stalled);
+  Access::publish_stalled_pop(q, stalled);
   spins = 0;
-  while (!Access::done(stalled)) {
+  while (!Access::done_ok(q, stalled)) {
     // Churn on a disjoint value; the helper must hand 888 (FIFO head)
-    // to the stalled requester, not consume it itself.
+    // to the stalled requester, not consume it itself. maybe_help runs
+    // before the helper's own ring access, so the request claims 888.
     (void)q.try_push(5, helper);
     (void)q.try_pop(&v, helper);
     WCQ_CHECK(++spins < 1000, "%s: helper never completed the dequeue",
               name);
   }
-  WCQ_CHECK(Access::done_ok(stalled), "%s: stalled dequeue failed", name);
-  WCQ_CHECK(Access::result(stalled) == 888,
-            "%s: stalled dequeue got %llu want 888", name,
-            (unsigned long long)Access::result(stalled));
-  Access::reset(stalled);
+  std::uint64_t popped = 0;
+  WCQ_CHECK(Access::finish_pop(q, stalled, &popped),
+            "%s: stalled dequeue failed", name);
+  WCQ_CHECK(popped == 888, "%s: stalled dequeue got %llu want 888", name,
+            (unsigned long long)popped);
 
-  WCQ_CHECK(Access::helps(q) >= 2, "%s: helps counter is %llu, want >= 2",
-            name, (unsigned long long)Access::helps(q));
+  WCQ_CHECK(Access::helps(helper) >= 2,
+            "%s: helps counter is %llu, want >= 2", name,
+            (unsigned long long)Access::helps(helper));
   std::printf("  ok helping           %s\n", name);
 }
 
@@ -108,16 +80,16 @@ void test_help_round_not_wasted_on_self(const char* name) {
   auto helper = q.get_handle();   // slot 0: cursor 0 lands on itself
   auto stalled = q.get_handle();  // slot 1: the peer needing help
 
-  Access::publish_enqueue(stalled, 321);
+  Access::publish_stalled_push(q, stalled, 321);
   std::uint64_t v = 0;
   // One single own-operation must spend its help round on the peer.
   // The help lands before the pop itself, so the pop may already
   // consume the helped value.
   const bool got321 = q.try_pop(&v, helper) && v == 321;
-  WCQ_CHECK(Access::done(stalled),
+  WCQ_CHECK(Access::done_ok(q, stalled),
             "%s: help round landing on self was forfeited", name);
-  WCQ_CHECK(Access::done_ok(stalled), "%s: self-skip help failed", name);
-  Access::reset(stalled);
+  WCQ_CHECK(Access::finish_push(q, stalled), "%s: self-skip help failed",
+            name);
   if (!got321) {
     WCQ_CHECK(q.try_pop(&v, helper) && v == 321,
               "%s: self-skip helped value lost", name);
