@@ -50,6 +50,24 @@ struct Pair {
   std::uint64_t note;  // 0, or a packed slow-path note (see below)
 };
 
+// Aliasing contract: the 16-byte CAS paths operate on storage that is
+// concurrently accessed as two separate std::atomic<uint64_t> members
+// (NotedEntry in scq_ring.hpp) through a reinterpret_cast to Pair.
+// Mixing access widths on the same atomic object is outside the C++
+// memory model, but it is the only way to pair cmpxchg16b with plain
+// 64-bit loads/CASes and is well-defined at the ISA level on every
+// target we build for (all lock-prefixed ops on the same line). The
+// asserts pin the layout assumptions the cast relies on: an atomic
+// u64 is exactly its value representation and lock-free, so Pair and
+// {atomic<u64>, atomic<u64>} are layout-interchangeable.
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "wcq requires lock-free 64-bit atomics");
+static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t),
+              "wcq relies on std::atomic<u64> having no extra state");
+static_assert(sizeof(Pair) == 2 * sizeof(std::uint64_t) &&
+                  alignof(Pair) <= 16,
+              "Pair must be two packed 64-bit words");
+
 #if defined(__SANITIZE_THREAD__)
 #define WCQ_TSAN 1
 #elif defined(__has_feature)

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 
@@ -52,7 +53,9 @@ struct alignas(detail::kNoFalseSharing) RingRequest {
   std::atomic<std::uint64_t> ctl{0};     // packed seq/j/ring/kind/state
   std::atomic<std::uint64_t> arg{0};     // enqueue: index to insert
   std::atomic<std::uint64_t> result{0};  // dequeue: index obtained
-  std::atomic<std::uint64_t> pos{0};     // shared scan position (hint)
+  std::atomic<std::uint64_t> pos{0};     // shared scan position; dequeue
+                                         // advances it in lockstep with
+                                         // the global Head ticket stream
 };
 
 template <bool Noted>
@@ -153,6 +156,7 @@ class ScqRingT {
       const std::uint64_t hcycle = cycle_of(h);
       const std::uint64_t j = remap(h);
       bool advanced = false;
+      bool consumed_by_peer = false;
       for (;;) {
         const std::uint64_t e =
             entries_[j].word.load(std::memory_order_acquire);
@@ -188,8 +192,16 @@ class ScqRingT {
             continue;
           }
         }
-        // ecycle == hcycle with BOT (a slow-path consume spent this
-        // position first) and ecycle > hcycle both land here too.
+        // ecycle == hcycle with BOT and ecycle > hcycle both land
+        // here. A cleared safe bit at exactly our cycle is the slow
+        // path's consume marker: our ticket's value went to a request
+        // (which never held a head ticket for it), so the position
+        // *did* yield a value and must not be accounted as failed —
+        // in SCQ a value-yielding ticket never decrements threshold.
+        if constexpr (Noted) {
+          consumed_by_peer =
+              ecycle == hcycle && idx_of_entry(e) == kBot() && !is_safe(e);
+        }
         advanced = true;
         break;
       }
@@ -200,7 +212,8 @@ class ScqRingT {
           threshold_.fetch_sub(1, std::memory_order_seq_cst);
           return kEmpty;
         }
-        if (threshold_.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        if (!consumed_by_peer &&
+            threshold_.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
           return kEmpty;
         }
       }
@@ -253,7 +266,11 @@ class ScqRingT {
     std::atomic<std::uint64_t> note;
   };
   using Entry = std::conditional_t<Noted, NotedEntry, PlainEntry>;
+  // pair_cas reinterprets a NotedEntry as detail::Pair (see the
+  // aliasing contract above Pair); these pin the layout it relies on.
   static_assert(!Noted || sizeof(NotedEntry) == sizeof(detail::Pair));
+  static_assert(offsetof(NotedEntry, word) == offsetof(detail::Pair, word) &&
+                offsetof(NotedEntry, note) == offsetof(detail::Pair, note));
 
   static constexpr unsigned kLineBits =
       detail::log2_pow2(detail::kCacheLine / sizeof(Entry));
@@ -424,9 +441,13 @@ class ScqRingT {
     const std::uint64_t seq = detail::note_seq(n);
     if (detail::note_deq(n)) {
       // Consume: the index rides into the phase-B note so the result
-      // survives even if this helper stalls right after the CAS2.
+      // survives even if this helper stalls right after the CAS2. The
+      // safe bit is cleared so the word is distinguishable from an
+      // empty close at the same cycle: the fast dequeuer whose head
+      // ticket maps here must see that its position yielded a value
+      // (to the request) and skip the threshold decrement.
       const std::uint64_t x = detail::note_aux(n);
-      const std::uint64_t consumed = (w & ~idx_mask_) | kBot();
+      const std::uint64_t consumed = pack(cycle_of_entry(w), false, kBot());
       if (pair_cas(j, {w, n},
                    {consumed, detail::pack_note(true, true, slot, seq, x)})) {
         bump(head_, (cycle_of_entry(w) << (order_ + 1)) + unremap(j) + 1);
@@ -477,8 +498,20 @@ class ScqRingT {
   }
 
   // One Pending-state step of a slow dequeue: claim a value, account
-  // an empty position, or finalize empty. Mirrors the fast path's
-  // threshold rules with req.pos as the shared ticket.
+  // an empty position, or finalize empty.
+  //
+  // Threshold accounting rides on the *global* head ticket stream, as
+  // in the paper: a spent scan position decrements threshold only via
+  // a successful CAS of head_ from p to p+1, which takes ticket p for
+  // this request exactly the way a fast dequeuer's FAA would. FAA and
+  // CAS serialize on head_, so every ticket has one owner and hence at
+  // most one decrement — no matter how many slow requests scan the
+  // same positions concurrently (their head CASes for a shared p all
+  // lose but one) and no matter how many fast dequeuers interleave
+  // (a ticket the FAA stream took makes our CAS fail, and its holder
+  // is the accountant). A stalled helper never blocks accounting: the
+  // head CAS is attempted by every helper at p before the pos advance,
+  // and the one success is itself the idempotence token.
   void step_dequeue(RingRequest* r, std::uint64_t c)
     requires(Noted)
   {
@@ -513,11 +546,20 @@ class ScqRingT {
           idx_of_entry(w) == kBot() ? pack(pcycle, is_safe(w), kBot())
                                     : pack(ec, false, idx_of_entry(w));
       if (!word_cas(j, w, fresh)) return;
+      // Spent as empty at pcycle; fall through to account ticket p.
     }
-    // Position spent (advanced, or consumed at our cycle). The winner
-    // of the pos CAS is the sole accountant for it, so the threshold
-    // is decremented once per position like the fast path.
-    if (advance_pos(r, p, p + 1)) {
+    // Position p is spent: closed empty just now, or already at our
+    // cycle with BOT. The cleared safe bit marks a slow-path consume —
+    // that position yielded a value, so even if we end up owning its
+    // ticket (the committer may have stalled before bumping head_) it
+    // must not be accounted as a failed position.
+    const bool consumed_here =
+        ec == pcycle && idx_of_entry(w) == kBot() && !is_safe(w);
+    std::uint64_t hexp = p;
+    if (head_.compare_exchange_strong(hexp, p + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst) &&
+        !consumed_here) {
+      // Ticket p is ours and yielded nothing: the fast path's rules.
       const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
       if (t <= p + 1) {
         catchup(t, p + 1);
@@ -527,6 +569,9 @@ class ScqRingT {
         try_finalize_empty(r, c);
       }
     }
+    // Ticket p accounted (by us, a sibling helper, or the fast holder
+    // head_'s FAA stream gave it to); the scan may move on.
+    advance_pos(r, p, p + 1);
   }
 
   // One Pending-state step of a slow enqueue: claim an eligible empty

@@ -58,7 +58,13 @@ class WcqQueueT {
   // wcq::options. Kept because the paper's knob names (MAX_PATIENCE,
   // HELP_DELAY) map onto it one-to-one.
   struct Config {
-    unsigned order = 16;  // capacity = 2^order values
+    // capacity = 2^order values. Note words carry ring indices in 21
+    // aux bits, so order must be <= detail::kMaxNoteOrder (20); the
+    // constructor throws std::invalid_argument beyond that.
+    unsigned order = 16;
+    // Note words index threads by a 9-bit slot, so at most
+    // detail::kMaxNoteThreads (512) concurrent handles; the
+    // constructor throws std::invalid_argument beyond that.
     unsigned max_threads = 128;
     unsigned enqueue_patience = 16;  // paper Section 6
     unsigned dequeue_patience = 64;
@@ -239,12 +245,16 @@ class WcqQueueT {
     if (cfg.dequeue_patience == 0) cfg.dequeue_patience = 1;
     if (cfg.help_delay == 0) cfg.help_delay = 1;
     if (cfg.max_threads == 0) cfg.max_threads = 1;
-    // Note words index threads by a 9-bit slot and carry ring indices
-    // in 21 aux bits; clamp so every note is representable.
+    // Every note must be representable: 9 slot bits, 21 aux bits.
+    // Reject rather than clamp — a silently halved capacity or lost
+    // handle slots would be far harder to debug than this throw.
     if (cfg.max_threads > detail::kMaxNoteThreads) {
-      cfg.max_threads = detail::kMaxNoteThreads;
+      throw std::invalid_argument(
+          "wcq: max_threads exceeds kMaxNoteThreads (512)");
     }
-    if (cfg.order > detail::kMaxNoteOrder) cfg.order = detail::kMaxNoteOrder;
+    if (cfg.order > detail::kMaxNoteOrder) {
+      throw std::invalid_argument("wcq: order exceeds kMaxNoteOrder (20)");
+    }
     return cfg;
   }
 
@@ -409,12 +419,17 @@ struct WcqTestAccess {
   }
 
   // Owner got its free index, wrote the value, published the fq
-  // enqueue (stage 2) — and stalled before driving it.
-  static void publish_stalled_push(Q& q, H& h, std::uint64_t v) {
+  // enqueue (stage 2) — and stalled before driving it. False iff the
+  // aq had no free index (queue full): nothing is published then, so
+  // a test never installs a garbage index.
+  static bool publish_stalled_push(Q& q, H& h, std::uint64_t v) {
     std::uint64_t idx = 0;
-    q.aq_.dequeue_idx(&idx, WcqRing::kUnbounded);
+    if (q.aq_.dequeue_idx(&idx, WcqRing::kUnbounded) != WcqRing::kOk) {
+      return false;
+    }
     q.data_[idx].store(v, std::memory_order_relaxed);
     q.publish_ring_op(h.rec_, /*fq_ring=*/true, /*deq=*/false, idx);
+    return true;
   }
 
   // Helper-side single call: drive h's request as maybe_help would.

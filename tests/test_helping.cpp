@@ -22,7 +22,8 @@ void test_helper_completes_stalled_ops(const char* name) {
   // --- stalled enqueue(777): the owner already holds its free index
   // and published the fq-enqueue request; the helper's own (empty)
   // dequeues must complete it, after which the value is really queued.
-  Access::publish_stalled_push(q, stalled, 777);
+  WCQ_CHECK(Access::publish_stalled_push(q, stalled, 777),
+            "%s: fresh queue had no free index", name);
   std::uint64_t v = 0;
   bool got777 = false;
   int spins = 0;
@@ -80,7 +81,8 @@ void test_help_round_not_wasted_on_self(const char* name) {
   auto helper = q.get_handle();   // slot 0: cursor 0 lands on itself
   auto stalled = q.get_handle();  // slot 1: the peer needing help
 
-  Access::publish_stalled_push(q, stalled, 321);
+  WCQ_CHECK(Access::publish_stalled_push(q, stalled, 321),
+            "%s: fresh queue had no free index", name);
   std::uint64_t v = 0;
   // One single own-operation must spend its help round on the peer.
   // The help lands before the pop itself, so the pop may already

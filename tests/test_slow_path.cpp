@@ -155,6 +155,59 @@ void test_slow_mpmc(const char* name, unsigned producers,
               (unsigned long long)(st.slow_enqueues + st.slow_dequeues));
 }
 
+// Regression for slow-path threshold accounting. Threshold decrements
+// must be tied to unique global Head tickets; with a per-request
+// decrement stream, k stale-positioned slow dequeues account the same
+// spent position up to k times, drive threshold below zero while a
+// value is still parked, and return a definitive — and wrong —
+// "empty". This builds that scenario deterministically: 12 values in a
+// capacity-16 ring (threshold_init 47), then 11 pop requests all
+// published before any is driven, so every request's scan starts at
+// the same Head snapshot. Completing them one by one makes request i
+// rescan the i-1 positions its predecessors consumed: per-request
+// accounting racks up 0+1+...+10 = 55 spurious decrements and request
+// 11 finalizes empty with two values still parked; head-ticket
+// accounting never decrements for a position it did not take from the
+// global Head stream, so all 11 pops must succeed and the 12th value
+// must still be there.
+template <bool Portable>
+void test_no_premature_empty(const char* name) {
+  using Access = WcqTestAccess<Portable>;
+  constexpr unsigned kPops = 11;
+  constexpr unsigned kValues = kPops + 1;
+  WcqQueueT<Portable> q(slow_opts(4, kPops + 1));  // capacity 16
+  auto seed = q.get_handle();
+
+  std::vector<typename WcqQueueT<Portable>::Handle> stalled;
+  stalled.reserve(kPops);
+  for (unsigned i = 0; i < kPops; ++i) stalled.push_back(q.get_handle());
+
+  for (unsigned i = 0; i < kValues; ++i) {
+    WCQ_CHECK(q.try_push(100 + i, seed), "%s: fill push %u refused", name, i);
+  }
+  // All requests snapshot the same scan start before any consume.
+  for (unsigned i = 0; i < kPops; ++i) {
+    Access::publish_stalled_pop(q, stalled[i]);
+  }
+  for (unsigned i = 0; i < kPops; ++i) {
+    Access::help(q, stalled[i]);  // drives request i to a terminal state
+    WCQ_CHECK(Access::done_ok(q, stalled[i]),
+              "%s: pop %u finalized empty with values parked "
+              "(threshold over-drained)",
+              name, i);
+    std::uint64_t v = 0;
+    WCQ_CHECK(Access::finish_pop(q, stalled[i], &v) && v == 100 + i,
+              "%s: pop %u got %llu want %u", name, i, (unsigned long long)v,
+              100 + i);
+  }
+  std::uint64_t v = 0;
+  WCQ_CHECK(q.try_pop(&v, seed) && v == 100 + kPops,
+            "%s: last parked value lost", name);
+  WCQ_CHECK(!q.try_pop(&v, seed), "%s: drained queue not empty", name);
+  std::printf("  ok slow_no_prem_empty %s (%u stale-pos pops)\n", name,
+              kPops);
+}
+
 // The acceptance scenario of the cooperative redesign: two helpers
 // drive the SAME pending request at the same time. The old delegation
 // slow path serialized this on a claim CAS — exactly one thread could
@@ -242,6 +295,8 @@ int main() {
   test_slow_empty_full<true>("wcq-portable");
   test_slow_mpmc<false>("wcq", 3, 3);
   test_slow_mpmc<true>("wcq-portable", 2, 2);
+  test_no_premature_empty<false>("wcq");
+  test_no_premature_empty<true>("wcq-portable");
   test_two_helpers_one_request<false>("wcq");
   test_two_helpers_one_request<true>("wcq-portable");
   return 0;
