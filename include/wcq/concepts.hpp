@@ -45,6 +45,19 @@ concept Queue =
       { q.try_pop(h) } -> std::same_as<std::optional<typename Q::value_type>>;
     };
 
+// Queue over a backend that reclaims memory through the shared SMR
+// layer (wcq/smr.hpp): smr_stats() exposes the domain's retire/scan
+// counters. The memory bench and the SMR tests constrain on this to
+// assert bounded parked garbage without reaching into backend guts.
+template <typename Q>
+concept ReclaimingQueue =
+    Queue<Q> && requires(const Q& q) {
+      { q.smr_stats().retired_nodes } -> std::convertible_to<std::uint64_t>;
+      { q.smr_stats().reclaimed_nodes } -> std::convertible_to<std::uint64_t>;
+      { q.smr_stats().retire_calls } -> std::convertible_to<std::uint64_t>;
+      { q.smr_stats().scans } -> std::convertible_to<std::uint64_t>;
+    };
+
 // Queue with slow-path observability: stats() exposing fast/slow op
 // and help counters. The ablation benches constrain on this instead of
 // reaching into backend internals, so any future backend that reports

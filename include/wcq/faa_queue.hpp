@@ -3,9 +3,13 @@
 // designs). Enqueue FAAs a tail counter and CASes its slot from EMPTY
 // to the value; dequeue FAAs head and XCHGs the slot with TAKEN.
 // Storage is a linked list of fixed-size segments allocated through
-// the counting allocator and only reclaimed at destruction — the
-// unbounded memory footprint is exactly what Figure 10 contrasts
-// against wCQ/SCQ's static rings.
+// the counting allocator; drained segments are retired through the
+// shared SMR layer (wcq/smr.hpp) under epoch pinning — every
+// operation is one pinned region, so the many transient segment
+// pointers a hint walk touches stay valid without per-hop hazards.
+// The queue is still unbounded at any instant the producers outrun
+// the consumers (that is the Figure 10 contrast with wCQ/SCQ's static
+// rings), but consumed segments no longer pile up until destruction.
 //
 // Values ~0 and ~0-1 are reserved as sentinels.
 #pragma once
@@ -15,11 +19,13 @@
 #include <cstdint>
 #include <new>
 #include <optional>
+#include <stdexcept>
 
 #include "wcq/detail.hpp"
 #include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
 #include "wcq/options.hpp"
+#include "wcq/smr.hpp"
 
 namespace wcq {
 
@@ -28,28 +34,39 @@ class FaaQueue {
   // Backend-internal configuration; the public surface is wcq::options.
   struct Config {
     unsigned seg_order = 10;  // 1024 slots per segment
+    unsigned max_threads = 128;
+    unsigned retire_threshold = 0;  // 0 = auto (see wcq/smr.hpp)
   };
 
-  using Handle = TrivialHandle;
+  using Handle = RegistryHandle<FaaQueue>;
 
   static constexpr std::uint64_t kEmptyCell = ~std::uint64_t{0};
   static constexpr std::uint64_t kTakenCell = ~std::uint64_t{0} - 1;
 
   explicit FaaQueue(const Config& cfg)
       : seg_order_(cfg.seg_order),
-        seg_slots_(std::uint64_t{1} << cfg.seg_order) {
-    first_ = new_segment(0);
-    head_seg_.store(first_, std::memory_order_relaxed);
-    tail_seg_.store(first_, std::memory_order_relaxed);
+        seg_slots_(std::uint64_t{1} << cfg.seg_order),
+        slots_(cfg.max_threads ? cfg.max_threads : 1),
+        smr_(slots_.capacity(), cfg.retire_threshold) {
+    Segment* first = new_segment(0);
+    first_.store(first, std::memory_order_relaxed);
+    head_seg_.store(first, std::memory_order_relaxed);
+    tail_seg_.store(first, std::memory_order_relaxed);
   }
 
-  explicit FaaQueue(const options& opt) : FaaQueue(Config{opt.seg_order()}) {}
+  explicit FaaQueue(const options& opt)
+      : FaaQueue(Config{opt.seg_order(), opt.max_threads(),
+                        opt.retire_threshold()}) {}
 
   ~FaaQueue() {
-    Segment* s = first_;
+    assert(slots_.live() == 0 &&
+           "faa: a Handle is outliving its queue (use-after-free ahead)");
+    // Live segments hang off first_; retired ones are freed by the
+    // domain's destructor.
+    Segment* s = first_.load(std::memory_order_relaxed);
     while (s != nullptr) {
       Segment* next = s->next.load(std::memory_order_relaxed);
-      free_segment(s);
+      free_segment(this, s);
       s = next;
     }
   }
@@ -57,8 +74,20 @@ class FaaQueue {
   FaaQueue(const FaaQueue&) = delete;
   FaaQueue& operator=(const FaaQueue&) = delete;
 
-  Handle get_handle() { return Handle{}; }
-  std::optional<Handle> try_get_handle() { return Handle{}; }
+  std::optional<Handle> try_get_handle() {
+    const unsigned slot = slots_.acquire();
+    if (slot == SlotRegistry::kNone) return std::nullopt;
+    return Handle(this, slot);
+  }
+
+  Handle get_handle() {
+    auto h = try_get_handle();
+    if (!h) {
+      throw std::runtime_error(
+          "faa: all max_threads handle slots are simultaneously live");
+    }
+    return std::move(*h);
+  }
 
   // Succeeds for every storable value (unbounded). The top two slot
   // patterns are the EMPTY/TAKEN sentinels of the FAA protocol and
@@ -67,15 +96,28 @@ class FaaQueue {
   // while leaving the cell empty. Typed callers that need the full
   // 64-bit value space over this backend must use a boxed
   // slot_codec (pointers never collide with the sentinels).
-  bool try_push(std::uint64_t v, Handle&) {
+  bool try_push(std::uint64_t v, Handle& h) {
     if (v >= kTakenCell) return false;
+    smr::Domain::Pin pin(smr_, h.slot());
     return push_impl(v);
   }
 
   // False iff the queue is empty.
-  bool try_pop(std::uint64_t* v, Handle&) { return pop_impl(v); }
+  bool try_pop(std::uint64_t* v, Handle& h) {
+    smr::Domain::Pin pin(smr_, h.slot());
+    return pop_impl(v, h.slot());
+  }
+
+  smr::Stats smr_stats() const { return smr_.stats(); }
 
  private:
+  friend class RegistryHandle<FaaQueue>;
+
+  void release_slot(unsigned slot) {
+    smr_.quiesce(slot);
+    slots_.release(slot);
+  }
+
   bool push_impl(std::uint64_t v) {
     assert(v < kTakenCell && "sentinel values cannot be enqueued");
     for (;;) {
@@ -91,7 +133,7 @@ class FaaQueue {
     }
   }
 
-  bool pop_impl(std::uint64_t* v) {
+  bool pop_impl(std::uint64_t* v, unsigned slot) {
     for (;;) {
       if (head_.load(std::memory_order_seq_cst) >=
           tail_.load(std::memory_order_seq_cst)) {
@@ -101,6 +143,9 @@ class FaaQueue {
       Segment* s = find_segment(&head_seg_, h >> seg_order_);
       const std::uint64_t old = s->slots()[h & (seg_slots_ - 1)].exchange(
           kTakenCell, std::memory_order_acq_rel);
+      // First ticket of a segment: a previous segment just became
+      // fully issued — amortized point to retire drained segments.
+      if ((h & (seg_slots_ - 1)) == 0) reclaim_segments(slot);
       if (old != kEmptyCell) {
         *v = old;
         return true;
@@ -133,15 +178,57 @@ class FaaQueue {
     return s;
   }
 
-  void free_segment(Segment* s) {
+  static void free_segment(FaaQueue* q, Segment* s) {
     s->~Segment();
-    mem::free(s, segment_bytes());
+    mem::free(s, q->segment_bytes());
+  }
+
+  static void free_segment_erased(void* p, void* ctx) {
+    free_segment(static_cast<FaaQueue*>(ctx), static_cast<Segment*>(p));
+  }
+
+  // Unlink and retire every segment no new operation can reach. A
+  // segment `s` is unreachable for threads that pin after this point
+  // once (a) both tickets streams have left it — no future ticket
+  // maps into s — and (b) both hints have advanced past it: the
+  // forward walk starts at a hint (id > s->id, never descends) and
+  // the backward walk only visits ids >= its target, which is a
+  // future ticket's segment, also > s->id. Threads pinned *before*
+  // the retirement may still be walking across s; the domain defers
+  // the free until they unpin (their epochs predate the retire
+  // stamp), which is exactly the epoch idiom's job. Unlinking from
+  // first_ is what keeps the destructor walk and this loop off
+  // retired segments; prev/next pointers inside them stay intact for
+  // the laggards.
+  void reclaim_segments(unsigned slot) {
+    const std::uint64_t head_id =
+        head_.load(std::memory_order_acquire) >> seg_order_;
+    const std::uint64_t tail_id =
+        tail_.load(std::memory_order_acquire) >> seg_order_;
+    const std::uint64_t head_hint_id =
+        head_seg_.load(std::memory_order_acquire)->id;
+    const std::uint64_t tail_hint_id =
+        tail_seg_.load(std::memory_order_acquire)->id;
+    std::uint64_t keep = head_id < tail_id ? head_id : tail_id;
+    if (head_hint_id < keep) keep = head_hint_id;
+    if (tail_hint_id < keep) keep = tail_hint_id;
+    for (;;) {
+      Segment* s = first_.load(std::memory_order_acquire);
+      if (s->id >= keep) return;
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) return;  // successor not linked yet
+      if (first_.compare_exchange_strong(s, next, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        smr_.retire(slot, s, &free_segment_erased, this);
+      }
+    }
   }
 
   Segment* find_segment(std::atomic<Segment*>* hint, std::uint64_t id) {
     Segment* s = hint->load(std::memory_order_acquire);
     // The shared hint can have advanced past a slow thread's target;
-    // walk back over the doubly-linked (never reclaimed) segments.
+    // walk back over the doubly-linked segments. Segments on this
+    // path may be retired but cannot be freed while we are pinned.
     while (s->id > id) s = s->prev;
     while (s->id < id) {
       Segment* next = s->next.load(std::memory_order_acquire);
@@ -154,7 +241,7 @@ class FaaQueue {
                                             std::memory_order_acquire)) {
           next = fresh;
         } else {
-          free_segment(fresh);  // lost the race; nobody saw ours
+          free_segment(this, fresh);  // lost the race; nobody saw ours
           next = expected;
         }
       }
@@ -178,7 +265,11 @@ class FaaQueue {
   alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> tail_{0};
   alignas(detail::kNoFalseSharing) std::atomic<Segment*> head_seg_{nullptr};
   alignas(detail::kNoFalseSharing) std::atomic<Segment*> tail_seg_{nullptr};
-  Segment* first_ = nullptr;  // list anchor, freed in the destructor
+  // Oldest still-linked segment: the reclaim loop's unlink anchor and
+  // the destructor's walk root.
+  alignas(detail::kNoFalseSharing) std::atomic<Segment*> first_{nullptr};
+  SlotRegistry slots_;
+  smr::Domain smr_;
 };
 
 }  // namespace wcq

@@ -16,15 +16,64 @@
 #include <atomic>
 #include <cstdint>
 #include <new>
+#include <utility>
 
 #include "wcq/mem.hpp"
 
 namespace wcq {
 
-// Empty per-thread state for backends that need none (SCQ/FAA/MSQ).
-// Exists so every backend has the same {get_handle, try_push, try_pop}
-// shape and the typed facade never special-cases.
+// Empty per-thread state for backends that need none (SCQ, whose
+// rings are static and whose ops carry no thread identity). Exists so
+// every backend has the same {get_handle, try_push, try_pop} shape
+// and the typed facade never special-cases.
 struct TrivialHandle {};
+
+// RAII handle over any SlotRegistry-backed backend: carries the
+// owning queue plus the slot index its per-thread state (hazard
+// pointers, epoch word, retire list — see wcq/smr.hpp) lives at.
+// Destruction calls Q::release_slot(slot), which quiesces the slot's
+// SMR state and returns it to the registry, so — exactly like wCQ's
+// ThreadRec handles — max_threads bounds *concurrent* participants.
+// A handle must not outlive its queue. MSQ, FAA, and LCRQ all use
+// this one template instead of hand-rolling three identical handles.
+template <typename Q>
+class RegistryHandle {
+ public:
+  RegistryHandle() = delete;
+
+  RegistryHandle(RegistryHandle&& other) noexcept
+      : q_(std::exchange(other.q_, nullptr)), slot_(other.slot_) {}
+
+  RegistryHandle& operator=(RegistryHandle&& other) noexcept {
+    if (this != &other) {
+      release();
+      q_ = std::exchange(other.q_, nullptr);
+      slot_ = other.slot_;
+    }
+    return *this;
+  }
+
+  RegistryHandle(const RegistryHandle&) = delete;
+  RegistryHandle& operator=(const RegistryHandle&) = delete;
+
+  ~RegistryHandle() { release(); }
+
+  unsigned slot() const { return slot_; }
+
+ private:
+  friend Q;
+  RegistryHandle(Q* q, unsigned slot) : q_(q), slot_(slot) {}
+
+  void release() {
+    if (q_ != nullptr) {
+      q_->release_slot(slot_);
+      q_ = nullptr;
+    }
+  }
+
+  Q* q_ = nullptr;
+  unsigned slot_ = 0;
+};
 
 class SlotRegistry {
  public:

@@ -1,70 +1,101 @@
 // Michael-Scott queue (PODC 1996): the classic CAS-based linked-list
-// MPMC queue, the "MSQ" baseline series. Nodes are never reused during
-// a run — dequeued nodes go onto a retired stack freed only by the
-// destructor — which sidesteps ABA without tagged pointers or hazard
-// pointers at the cost of unbounded memory (visible in Figure 10,
-// which is the point of the comparison).
+// MPMC queue, the "MSQ" baseline series. Dequeued nodes are retired
+// through the shared SMR layer (wcq/smr.hpp) under the two hazard
+// pointers of Michael's 2004 scheme — hp0 on the node in hand, hp1 on
+// its successor — so the footprint Figure 10 reports is the
+// algorithm's true in-flight garbage (bounded by the domain's
+// amnesty), not a leak-until-destructor artifact.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <new>
 #include <optional>
+#include <stdexcept>
 
 #include "wcq/detail.hpp"
 #include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
 #include "wcq/options.hpp"
+#include "wcq/smr.hpp"
 
 namespace wcq {
 
 class MsqQueue {
  public:
   // Backend-internal configuration; the public surface is wcq::options.
-  struct Config {};
+  struct Config {
+    unsigned max_threads = 128;
+    unsigned retire_threshold = 0;  // 0 = auto (see wcq/smr.hpp)
+  };
 
-  using Handle = TrivialHandle;
+  using Handle = RegistryHandle<MsqQueue>;
 
-  explicit MsqQueue(const Config&) {
+  explicit MsqQueue(const Config& cfg)
+      : slots_(cfg.max_threads ? cfg.max_threads : 1),
+        smr_(slots_.capacity(), cfg.retire_threshold) {
     Node* dummy = new_node(0);
     head_.store(dummy, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
   }
 
-  explicit MsqQueue(const options&) : MsqQueue(Config{}) {}
+  explicit MsqQueue(const options& opt)
+      : MsqQueue(Config{opt.max_threads(), opt.retire_threshold()}) {}
 
   ~MsqQueue() {
+    assert(slots_.live() == 0 &&
+           "msq: a Handle is outliving its queue (use-after-free ahead)");
     Node* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
       Node* next = n->next.load(std::memory_order_relaxed);
-      free_node(n);
+      free_node(this, n);
       n = next;
     }
-    n = retired_.load(std::memory_order_relaxed);
-    while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed);
-      free_node(n);
-      n = next;
-    }
+    // Retired-but-unreclaimed nodes are freed by the domain's dtor.
   }
 
   MsqQueue(const MsqQueue&) = delete;
   MsqQueue& operator=(const MsqQueue&) = delete;
 
-  Handle get_handle() { return Handle{}; }
-  std::optional<Handle> try_get_handle() { return Handle{}; }
+  std::optional<Handle> try_get_handle() {
+    const unsigned slot = slots_.acquire();
+    if (slot == SlotRegistry::kNone) return std::nullopt;
+    return Handle(this, slot);
+  }
+
+  Handle get_handle() {
+    auto h = try_get_handle();
+    if (!h) {
+      throw std::runtime_error(
+          "msq: all max_threads handle slots are simultaneously live");
+    }
+    return std::move(*h);
+  }
 
   // Always succeeds (unbounded).
-  bool try_push(std::uint64_t v, Handle&) { return push_impl(v); }
+  bool try_push(std::uint64_t v, Handle& h) { return push_impl(v, h.slot()); }
 
   // False iff the queue is empty.
-  bool try_pop(std::uint64_t* v, Handle&) { return pop_impl(v); }
+  bool try_pop(std::uint64_t* v, Handle& h) { return pop_impl(v, h.slot()); }
+
+  smr::Stats smr_stats() const { return smr_.stats(); }
 
  private:
-  bool push_impl(std::uint64_t v) {
+  friend class RegistryHandle<MsqQueue>;
+
+  void release_slot(unsigned slot) {
+    smr_.quiesce(slot);
+    slots_.release(slot);
+  }
+
+  bool push_impl(std::uint64_t v, unsigned slot) {
     Node* node = new_node(v);
     for (;;) {
-      Node* t = tail_.load(std::memory_order_acquire);
+      // hp0 keeps `t` alive across the next-load and the two CASes; a
+      // concurrent dequeuer may retire it but the domain cannot free
+      // it until our hazard moves on.
+      Node* t = smr_.protect(slot, 0, tail_);
       Node* next = t->next.load(std::memory_order_acquire);
       if (t != tail_.load(std::memory_order_acquire)) continue;
       if (next == nullptr) {
@@ -83,11 +114,11 @@ class MsqQueue {
     }
   }
 
-  bool pop_impl(std::uint64_t* v) {
+  bool pop_impl(std::uint64_t* v, unsigned slot) {
     for (;;) {
-      Node* h = head_.load(std::memory_order_acquire);
+      Node* h = smr_.protect(slot, 0, head_);
       Node* t = tail_.load(std::memory_order_acquire);
-      Node* next = h->next.load(std::memory_order_acquire);
+      Node* next = smr_.protect(slot, 1, h->next);
       if (h != head_.load(std::memory_order_acquire)) continue;
       if (h == t) {
         if (next == nullptr) return false;
@@ -96,10 +127,12 @@ class MsqQueue {
                                       std::memory_order_relaxed);
         continue;
       }
+      // Read before unlinking (Michael 2004 D10-D11): hp1 guarantees
+      // `next` outlives the read even if it is dequeued right after.
       const std::uint64_t value = next->value;
       if (head_.compare_exchange_weak(h, next, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
-        retire(h);
+        smr_.retire(slot, h, &free_node_erased, this);
         *v = value;
         return true;
       }
@@ -117,26 +150,19 @@ class MsqQueue {
     return n;
   }
 
-  void free_node(Node* n) {
+  static void free_node(MsqQueue*, Node* n) {
     n->~Node();
     mem::free(n, sizeof(Node), alignof(Node));
   }
 
-  // Unlinked heads may still be examined by stalled dequeuers (their
-  // head re-check then fails), so reusing `next` as the retired-stack
-  // link is safe: the stale pointer is read but never followed.
-  void retire(Node* n) {
-    Node* top = retired_.load(std::memory_order_relaxed);
-    do {
-      n->next.store(top, std::memory_order_relaxed);
-    } while (!retired_.compare_exchange_weak(top, n,
-                                             std::memory_order_release,
-                                             std::memory_order_relaxed));
+  static void free_node_erased(void* p, void* ctx) {
+    free_node(static_cast<MsqQueue*>(ctx), static_cast<Node*>(p));
   }
 
   alignas(detail::kNoFalseSharing) std::atomic<Node*> head_{nullptr};
   alignas(detail::kNoFalseSharing) std::atomic<Node*> tail_{nullptr};
-  alignas(detail::kNoFalseSharing) std::atomic<Node*> retired_{nullptr};
+  SlotRegistry slots_;
+  smr::Domain smr_;
 };
 
 }  // namespace wcq

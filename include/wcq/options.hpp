@@ -84,6 +84,16 @@ class options {
   }
   constexpr unsigned seg_order() const { return seg_order_; }
 
+  // SMR amnesty: retired nodes a thread may park before it must run a
+  // reclamation scan (backends with dynamic memory: MSQ, FAA, LCRQ).
+  // 0 = auto, the MAX_GARBAGE(n) = 2n shape over max_threads. Total
+  // parked garbage is bounded by max_threads x this value.
+  constexpr options& retire_threshold(unsigned v) {
+    retire_threshold_ = v;
+    return *this;
+  }
+  constexpr unsigned retire_threshold() const { return retire_threshold_; }
+
  private:
   unsigned order_ = 16;
   unsigned max_threads_ = 128;
@@ -93,6 +103,7 @@ class options {
   bool remap_ = true;
   bool portable_ = false;
   unsigned seg_order_ = 10;
+  unsigned retire_threshold_ = 0;
 };
 
 }  // namespace wcq

@@ -16,12 +16,13 @@
 // concurrent participants rather than lifetime thread count.
 //
 // Caveat: a backend may reserve slot bit patterns for its own
-// protocol (FaaQueue reserves the top two as EMPTY/TAKEN sentinels;
-// wCQ/SCQ/MSQ reserve none). An inline-encoded T whose bytes collide
-// with a reserved pattern (e.g. std::int64_t{-1} over FaaQueue) is
-// refused by that backend's try_push — use a boxed slot_codec
-// specialization over such backends when T needs the full 64-bit
-// space, since pointers never collide with the sentinels.
+// protocol (FaaQueue reserves the top two as EMPTY/TAKEN sentinels,
+// LcrqQueue the all-ones EMPTY pattern; wCQ/SCQ/MSQ reserve none). An
+// inline-encoded T whose bytes collide with a reserved pattern (e.g.
+// std::int64_t{-1} over FaaQueue) is refused by that backend's
+// try_push — use a boxed slot_codec specialization over such backends
+// when T needs the full 64-bit space, since pointers never collide
+// with the sentinels.
 #pragma once
 
 #include <cstdint>
@@ -180,6 +181,14 @@ class queue {
     requires requires(const Backend& b) { b.stats(); }
   {
     return backend_.stats();
+  }
+
+  // Backends that reclaim through the shared SMR layer (MSQ, FAA,
+  // LCRQ) expose the domain's retire/scan counters.
+  auto smr_stats() const
+    requires requires(const Backend& b) { b.smr_stats(); }
+  {
+    return backend_.smr_stats();
   }
 
   Backend& backend() { return backend_; }

@@ -4,19 +4,35 @@
 #   <outdir>/BENCH_<name>.csv    — the bench's --csv table(s)
 #   <outdir>/BENCH_summary.json  — status + timing per bench
 #
-# Usage: scripts/run_benches.sh [build-dir] [out-dir]
-# Size knobs (defaults are CI-sized; the paper's methodology is
-# WCQ_BENCH_OPS=10000000 WCQ_BENCH_RUNS=10 WCQ_BENCH_THREADS=1,...,144):
+# Usage: scripts/run_benches.sh [--paper] [build-dir] [out-dir]
+#
+# --paper selects the paper's full methodology: 10M ops per data
+# point, 10 runs, the thread sweep of the figures (1..144), and the
+# 2^16 ring order the options default already matches. Expect hours,
+# not minutes. Without it the defaults are CI-sized smoke values.
+# Either way the env knobs win when set explicitly:
 #   WCQ_BENCH_OPS (default 50000), WCQ_BENCH_RUNS (1),
 #   WCQ_BENCH_THREADS (1,2)
 set -u
 
+PRESET=smoke
+if [ "${1:-}" = "--paper" ]; then
+  PRESET=paper
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 
-export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-50000}"
-export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-1}"
-export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2}"
+if [ "$PRESET" = paper ]; then
+  export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-10000000}"
+  export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-10}"
+  export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2,4,8,18,36,72,144}"
+else
+  export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-50000}"
+  export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-1}"
+  export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2}"
+fi
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
@@ -34,6 +50,7 @@ fi
 summary="$OUT_DIR/BENCH_summary.json"
 {
   echo "{"
+  echo "  \"preset\": \"$PRESET\","
   echo "  \"ops\": $WCQ_BENCH_OPS,"
   echo "  \"runs\": $WCQ_BENCH_RUNS,"
   echo "  \"threads\": \"$WCQ_BENCH_THREADS\","

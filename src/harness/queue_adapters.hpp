@@ -5,10 +5,10 @@
 // no per-queue Config plumbing here; wcq::options configures every
 // backend uniformly.
 //
-// Implemented for real: wCQ (+ portable build), SCQ, FAA, MSQ.
+// Implemented for real: wCQ (+ portable build), SCQ, FAA, MSQ, LCRQ.
 // Aliased placeholders (name carries a '*'): the rest of the lineup is
 // mapped to the nearest implemented design so every figure binary
-// links and runs end-to-end — YMC*/LCRQ* -> FAA (unbounded FAA array),
+// links and runs end-to-end — YMC* -> FAA (unbounded FAA array),
 // CCQ*/LSCQ* -> SCQ (bounded ring), CRTurn* -> MSQ (CAS list),
 // uwCQ* -> wCQ. Real implementations are ROADMAP open items: each
 // lands as a Backend satisfying wcq::concepts::Backend and replaces
@@ -19,6 +19,7 @@
 
 #include "wcq/concepts.hpp"
 #include "wcq/faa_queue.hpp"
+#include "wcq/lcrq.hpp"
 #include "wcq/msq.hpp"
 #include "wcq/queue.hpp"
 #include "wcq/scq.hpp"
@@ -46,7 +47,7 @@ inline constexpr char kCcqName[] = "CCQ*";
 inline constexpr char kLscqName[] = "LSCQ*";
 inline constexpr char kFaaName[] = "FAA";
 inline constexpr char kYmcName[] = "YMC*";
-inline constexpr char kLcrqName[] = "LCRQ*";
+inline constexpr char kLcrqName[] = "LCRQ";
 inline constexpr char kMsqName[] = "MSQ";
 inline constexpr char kCrTurnName[] = "CRTurn*";
 
@@ -60,7 +61,7 @@ using LscqAdapter = Lineup<ScqQueue, kLscqName>;
 
 using FaaAdapter = Lineup<FaaQueue, kFaaName>;
 using YmcAdapter = Lineup<FaaQueue, kYmcName>;
-using LcrqAdapter = Lineup<FaaQueue, kLcrqName>;
+using LcrqAdapter = Lineup<LcrqQueue, kLcrqName>;
 
 using MsqAdapter = Lineup<MsqQueue, kMsqName>;
 using CrTurnAdapter = Lineup<MsqQueue, kCrTurnName>;
@@ -84,5 +85,11 @@ static_assert(concepts::Queue<CrTurnAdapter>);
 // facade; the wCQ entries must stay observable.
 static_assert(concepts::ObservableQueue<WcqAdapter>);
 static_assert(concepts::ObservableQueue<WcqPortableAdapter>);
+
+// The dynamic-memory backends reclaim through the shared SMR layer;
+// the memory bench and SMR tests read its counters through the facade.
+static_assert(concepts::ReclaimingQueue<MsqAdapter>);
+static_assert(concepts::ReclaimingQueue<FaaAdapter>);
+static_assert(concepts::ReclaimingQueue<LcrqAdapter>);
 
 }  // namespace wcq::harness

@@ -185,7 +185,7 @@ inline bool selected(int argc, char** argv, const char* queue) {
 }
 
 // Invokes fn<Q>(tag) for each queue selected on the command line:
-// wcq, wcq-portable, scq, faa, msq.
+// wcq, wcq-portable, scq, faa, msq, lcrq.
 template <typename Fn>
 int for_selected_queues(int argc, char** argv, Fn fn) {
   bool matched = false;
@@ -209,10 +209,14 @@ int for_selected_queues(int argc, char** argv, Fn fn) {
     fn.template operator()<harness::MsqAdapter>("msq");
     matched = true;
   }
+  if (selected(argc, argv, "lcrq")) {
+    fn.template operator()<harness::LcrqAdapter>("lcrq");
+    matched = true;
+  }
   if (!matched) {
     std::fprintf(stderr,
                  "unknown queue filter; expected one of: wcq wcq-portable "
-                 "scq faa msq\n");
+                 "scq faa msq lcrq\n");
     return 2;
   }
   return 0;

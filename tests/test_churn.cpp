@@ -191,6 +191,11 @@ int main() {
   test_churn_waves<WcqPortableAdapter>("wcq-portable");
   // Stateless-handle backends must survive the same churn shape.
   test_churn_waves<ScqAdapter>("scq");
+  // SMR-backed backends: recycling a handle slot also hands its
+  // hazard/epoch strip and parked retire list to the next wave.
+  test_churn_waves<MsqAdapter>("msq");
+  test_churn_waves<FaaAdapter>("faa");
+  test_churn_waves<LcrqAdapter>("lcrq");
   test_exhaustion_is_an_error();
   test_serial_handle_recycling();
   test_handle_move_semantics();

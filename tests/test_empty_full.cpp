@@ -1,5 +1,6 @@
 // Empty-dequeue behaviour for every queue, and full-ring refusal for
-// the bounded ones (wCQ / SCQ; FAA and MSQ are unbounded by design).
+// the bounded ones (wCQ / SCQ; FAA, MSQ and LCRQ are unbounded by
+// design — LCRQ links a fresh ring instead of refusing).
 #include "queue_test_common.hpp"
 
 int main(int argc, char** argv) {
