@@ -1,15 +1,18 @@
-// Figure 11b — pairwise Enqueue-Dequeue throughput, x86-64.
-// Each thread alternates Enqueue and Dequeue in a tight loop. The
-// paper shows wCQ ≈ SCQ ≈ LCRQ on top, YMC and the rest below.
+// Figure 11b — pairwise Enqueue-Dequeue, x86-64, latency-first: each
+// thread alternates Enqueue and Dequeue in a tight loop (the paper
+// shows wCQ ≈ SCQ ≈ LCRQ on top, YMC and the rest below), and besides
+// throughput every row now carries sampled per-op service-latency
+// percentiles — for a wait-free queue the p99.9/max columns are the
+// point, since bounded per-op steps is the property being sold.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace wcq;
-  harness::SeriesTable table("Figure 11b: pairwise Enqueue-Dequeue",
-                             "threads", "Mops/sec");
-  auto make = []<typename A>() { return bench::pairwise_workload<A>(); };
-  bench::run_all_queues(table, make, bench::default_threads(),
-                        bench::default_ops(), bench::default_runs());
-  bench::emit(table, argc, argv);
+  harness::MetricsTable table("Figure 11b: pairwise Enqueue-Dequeue",
+                              "threads");
+  auto make = []<typename A>() { return bench::pairwise_timed_workload<A>(); };
+  bench::run_all_queues_latency(table, make, bench::default_threads(),
+                                bench::default_ops(), bench::default_runs());
+  bench::emit_metrics(table, argc, argv);
   return 0;
 }

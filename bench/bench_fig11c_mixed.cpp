@@ -1,16 +1,17 @@
-// Figure 11c — 50%/50% random Enqueue/Dequeue throughput, x86-64.
+// Figure 11c — 50%/50% random Enqueue/Dequeue, x86-64, latency-first.
 // The paper shows wCQ ≈ SCQ ≈ YMC, with wCQ slightly ahead of SCQ
 // (larger entries reduce contention), LCRQ typically on top, the
-// CAS-based queues far below.
+// CAS-based queues far below. Rows carry throughput plus sampled
+// per-op service-latency percentiles.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace wcq;
-  harness::SeriesTable table("Figure 11c: 50%/50% Enqueue-Dequeue",
-                             "threads", "Mops/sec");
-  auto make = []<typename A>() { return bench::mixed_workload<A>(); };
-  bench::run_all_queues(table, make, bench::default_threads(),
-                        bench::default_ops(), bench::default_runs());
-  bench::emit(table, argc, argv);
+  harness::MetricsTable table("Figure 11c: 50%/50% Enqueue-Dequeue",
+                              "threads");
+  auto make = []<typename A>() { return bench::mixed_timed_workload<A>(); };
+  bench::run_all_queues_latency(table, make, bench::default_threads(),
+                                bench::default_ops(), bench::default_runs());
+  bench::emit_metrics(table, argc, argv);
   return 0;
 }

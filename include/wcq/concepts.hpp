@@ -1,13 +1,15 @@
-// The one Queue concept the whole repo programs against.
-//
-// Two layers, two concepts:
-//  - concepts::Backend is the raw 64-bit-slot surface every queue
-//    implementation (wCQ, SCQ, FAA, MSQ, future LCRQ/YMC/...) exposes;
-//    wcq::queue<T, B> requires it of its B parameter.
-//  - concepts::Queue is the typed facade surface (try_push(T),
-//    try_pop() -> optional<T>, RAII handles); the benchmark harness
-//    and the test battery constrain on it, so adding a lineup entry is
-//    "satisfy the concept", not "match a duck-typed adapter by hand".
+/// \file
+/// The one Queue concept the whole repo programs against.
+///
+/// Two layers, two concepts:
+///  - concepts::Backend is the raw 64-bit-slot surface every queue
+///    implementation (wCQ, SCQ, FAA, MSQ, LCRQ, ...) exposes;
+///    `wcq::queue<T, B>` requires it of its B parameter.
+///  - concepts::Queue is the typed facade surface (try_push(T),
+///    try_pop() returning `optional<T>`, RAII handles); the harness
+///    and the test battery constrain on it, so adding a lineup entry
+///    is "satisfy the concept", not "match a duck-typed adapter by
+///    hand".
 #pragma once
 
 #include <concepts>
@@ -18,9 +20,9 @@
 
 namespace wcq::concepts {
 
-// Raw backend: options-constructible, per-thread Handle (possibly
-// empty), bool try_push/try_pop over 64-bit slots. try_get_handle
-// reports exhaustion as nullopt instead of failing.
+/// Raw backend: options-constructible, per-thread Handle (possibly
+/// empty), bool try_push/try_pop over 64-bit slots. try_get_handle
+/// reports exhaustion as nullopt instead of failing.
 template <typename B>
 concept Backend =
     std::constructible_from<B, const wcq::options&> &&
@@ -32,7 +34,7 @@ concept Backend =
       { b.try_pop(out, h) } -> std::same_as<bool>;
     };
 
-// Typed queue facade: what workloads, tests, and benches see.
+/// Typed queue facade: what workloads, tests, and benches see.
 template <typename Q>
 concept Queue =
     std::constructible_from<Q, const wcq::options&> &&
@@ -45,10 +47,10 @@ concept Queue =
       { q.try_pop(h) } -> std::same_as<std::optional<typename Q::value_type>>;
     };
 
-// Queue over a backend that reclaims memory through the shared SMR
-// layer (wcq/smr.hpp): smr_stats() exposes the domain's retire/scan
-// counters. The memory bench and the SMR tests constrain on this to
-// assert bounded parked garbage without reaching into backend guts.
+/// Queue over a backend that reclaims memory through the shared SMR
+/// layer (wcq/smr.hpp): smr_stats() exposes the domain's retire/scan
+/// counters. The memory bench and the SMR tests constrain on this to
+/// assert bounded parked garbage without reaching into backend guts.
 template <typename Q>
 concept ReclaimingQueue =
     Queue<Q> && requires(const Q& q) {
@@ -58,10 +60,10 @@ concept ReclaimingQueue =
       { q.smr_stats().scans } -> std::convertible_to<std::uint64_t>;
     };
 
-// Queue with slow-path observability: stats() exposing fast/slow op
-// and help counters. The ablation benches constrain on this instead of
-// reaching into backend internals, so any future backend that reports
-// the same counters slots into those drivers unchanged.
+/// Queue with slow-path observability: stats() exposing fast/slow op
+/// and help counters. The ablation benches constrain on this instead
+/// of reaching into backend internals, so any future backend that
+/// reports the same counters slots into those drivers unchanged.
 template <typename Q>
 concept ObservableQueue =
     Queue<Q> && requires(const Q& q) {

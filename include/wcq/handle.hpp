@@ -1,16 +1,18 @@
-// Per-thread handle machinery shared by every backend.
-//
-// SlotRegistry hands out slot indices in [0, capacity) and takes them
-// back, so a queue's per-thread records (wCQ's ThreadRec) are a bound
-// on *concurrent* participants, not on lifetime thread count. Without
-// recycling, any thread-churn workload (a pool that retires workers, a
-// server spawning a thread per connection wave) exhausts max_threads
-// even though only a few threads are ever live at once.
-//
-// The free list is a Treiber stack of indices. ABA on the head is
-// prevented with a 32-bit tag packed next to the 32-bit index; `next`
-// links live in a side array so releasing a slot never touches the
-// queue's own record (which a helper may still be scanning).
+/// \file
+/// Per-thread handle machinery shared by every backend.
+///
+/// SlotRegistry hands out slot indices in [0, capacity) and takes
+/// them back, so a queue's per-thread records (wCQ's ThreadRec) are a
+/// bound on *concurrent* participants, not on lifetime thread count.
+/// Without recycling, any thread-churn workload (a pool that retires
+/// workers, a server spawning a thread per connection wave) exhausts
+/// max_threads even though only a few threads are ever live at once.
+///
+/// The free list is a Treiber stack of indices. ABA on the head is
+/// prevented with a 32-bit tag packed next to the 32-bit index;
+/// `next` links live in a side array so releasing a slot never
+/// touches the queue's own record (which a helper may still be
+/// scanning).
 #pragma once
 
 #include <atomic>
@@ -22,20 +24,20 @@
 
 namespace wcq {
 
-// Empty per-thread state for backends that need none (SCQ, whose
-// rings are static and whose ops carry no thread identity). Exists so
-// every backend has the same {get_handle, try_push, try_pop} shape
-// and the typed facade never special-cases.
+/// Empty per-thread state for backends that need none (SCQ, whose
+/// rings are static and whose ops carry no thread identity). Exists
+/// so every backend has the same {get_handle, try_push, try_pop}
+/// shape and the typed facade never special-cases.
 struct TrivialHandle {};
 
-// RAII handle over any SlotRegistry-backed backend: carries the
-// owning queue plus the slot index its per-thread state (hazard
-// pointers, epoch word, retire list — see wcq/smr.hpp) lives at.
-// Destruction calls Q::release_slot(slot), which quiesces the slot's
-// SMR state and returns it to the registry, so — exactly like wCQ's
-// ThreadRec handles — max_threads bounds *concurrent* participants.
-// A handle must not outlive its queue. MSQ, FAA, and LCRQ all use
-// this one template instead of hand-rolling three identical handles.
+/// RAII handle over any SlotRegistry-backed backend: carries the
+/// owning queue plus the slot index its per-thread state (hazard
+/// pointers, epoch word, retire list — see wcq/smr.hpp) lives at.
+/// Destruction calls Q::release_slot(slot), which quiesces the slot's
+/// SMR state and returns it to the registry, so — exactly like wCQ's
+/// ThreadRec handles — max_threads bounds *concurrent* participants.
+/// A handle must not outlive its queue. MSQ, FAA, and LCRQ all use
+/// this one template instead of hand-rolling three identical handles.
 template <typename Q>
 class RegistryHandle {
  public:
@@ -75,6 +77,10 @@ class RegistryHandle {
   unsigned slot_ = 0;
 };
 
+/// Lock-free index allocator behind every backend's handle slots:
+/// acquire() prefers recycled indices (keeping the high-water mark —
+/// and any state scan over it — small), release() pushes them back on
+/// a tagged Treiber stack.
 class SlotRegistry {
  public:
   static constexpr unsigned kNone = 0xffffffffu;
@@ -95,9 +101,10 @@ class SlotRegistry {
   SlotRegistry(const SlotRegistry&) = delete;
   SlotRegistry& operator=(const SlotRegistry&) = delete;
 
-  // Returns a slot index, or kNone iff `capacity` slots are currently
-  // live. Recycled slots are preferred over never-used ones so the
-  // high-water mark (and any state scan over it) stays small.
+  /// Returns a slot index, or kNone iff `capacity` slots are
+  /// currently live. Recycled slots are preferred over never-used
+  /// ones so the high-water mark (and any state scan over it) stays
+  /// small.
   unsigned acquire() {
     if (const unsigned idx = pop_free(); idx != kNone) {
       live_.fetch_add(1, std::memory_order_acq_rel);
@@ -135,12 +142,12 @@ class SlotRegistry {
     }
   }
 
-  // Slots ever handed out (monotone). Records in [0, high_water()) may
-  // be live or recycled; anything beyond was never touched.
+  /// Slots ever handed out (monotone). Records in [0, high_water())
+  /// may be live or recycled; anything beyond was never touched.
   unsigned high_water() const { return bump_.load(std::memory_order_acquire); }
 
-  // Currently-acquired slot count. Zero at destruction time is the
-  // owner's contract: every handle died before its queue.
+  /// Currently-acquired slot count. Zero at destruction time is the
+  /// owner's contract: every handle died before its queue.
   unsigned live() const { return live_.load(std::memory_order_acquire); }
 
   unsigned capacity() const { return capacity_; }

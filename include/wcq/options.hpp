@@ -1,93 +1,107 @@
-// wcq::options — the one configuration object every backend consumes.
-// A fluent builder (each setter returns *this) so call sites read as a
-// sentence:
-//
-//   wcq::queue<std::uint64_t> q(
-//       wcq::options{}.order(16).max_threads(64).help_delay(16));
-//
-// Knobs not meaningful for a given backend are simply ignored by it
-// (e.g. patience for SCQ, seg_order for everything but FAA), so one
-// options value can configure a whole lineup of queues identically —
-// which is exactly what the benchmark harness does.
+/// \file
+/// wcq::options — the one configuration object every backend consumes.
+///
+/// A fluent builder (each setter returns *this) so call sites read as
+/// a sentence:
+///
+/// \code
+///   wcq::queue<std::uint64_t> q(
+///       wcq::options{}.order(16).max_threads(64).help_delay(16));
+/// \endcode
+///
+/// Knobs not meaningful for a given backend are simply ignored by it
+/// (e.g. patience for SCQ, seg_order for everything but FAA), so one
+/// options value can configure a whole lineup of queues identically —
+/// which is exactly what the benchmark harness does.
 #pragma once
 
 namespace wcq {
 
+/// Fluent configuration builder shared by every queue backend.
+///
+/// Defaults match the paper's §6 methodology (2^16 ring, patience
+/// 16/64, HELP_DELAY 16, Cache_Remap on). Each setter returns *this;
+/// the same-name no-argument overload reads the knob back.
 class options {
  public:
   constexpr options() = default;
 
-  // Ring capacity = 2^order values (bounded backends; paper §6 uses 16).
+  /// Ring capacity = 2^order values (bounded backends; paper §6
+  /// uses 16).
   constexpr options& order(unsigned v) {
     order_ = v;
     return *this;
   }
   constexpr unsigned order() const { return order_; }
 
-  // Upper bound on *simultaneously live* handles. With RAII recycling
-  // this is a concurrency bound, not a lifetime-total bound.
+  /// Upper bound on *simultaneously live* handles. With RAII
+  /// recycling this is a concurrency bound, not a lifetime-total
+  /// bound.
   constexpr options& max_threads(unsigned v) {
     max_threads_ = v;
     return *this;
   }
   constexpr unsigned max_threads() const { return max_threads_; }
 
-  // Fast-path attempts before an operation is published for helping
-  // (wCQ; paper §6 defaults: 16 enqueue / 64 dequeue).
+  /// Fast-path attempts before an enqueue is published for helping
+  /// (wCQ; paper §6 default 16).
   constexpr options& enqueue_patience(unsigned v) {
     enqueue_patience_ = v;
     return *this;
   }
   constexpr unsigned enqueue_patience() const { return enqueue_patience_; }
 
+  /// Fast-path attempts before a dequeue is published for helping
+  /// (wCQ; paper §6 default 64).
   constexpr options& dequeue_patience(unsigned v) {
     dequeue_patience_ = v;
     return *this;
   }
   constexpr unsigned dequeue_patience() const { return dequeue_patience_; }
 
-  // Both patience knobs at once, preserving the paper's 1:4 shape when
-  // callers sweep a single value.
+  /// Both patience knobs at once, preserving the paper's 1:4 shape
+  /// when callers sweep a single value.
   constexpr options& patience(unsigned enq, unsigned deq) {
     enqueue_patience_ = enq;
     dequeue_patience_ = deq;
     return *this;
   }
 
-  // Own operations between peer help checks (wCQ §3.1).
+  /// Own operations between peer help checks (wCQ §3.1).
   constexpr options& help_delay(unsigned v) {
     help_delay_ = v;
     return *this;
   }
   constexpr unsigned help_delay() const { return help_delay_; }
 
-  // Cache_Remap position permutation (§2; Ablation A3).
+  /// Cache_Remap position permutation (§2; Ablation A3).
   constexpr options& remap(bool v) {
     remap_ = v;
     return *this;
   }
   constexpr bool remap() const { return remap_; }
 
-  // LL/SC-shaped ring operations (the §4 portable build) for backends
-  // that support both forms in one type (SCQ). wCQ's portable build is
-  // a distinct type (WcqPortableQueue) and ignores this.
+  /// LL/SC-shaped ring operations (the §4 portable build) for
+  /// backends that support both forms in one type (SCQ). wCQ's
+  /// portable build is a distinct type (WcqPortableQueue) and ignores
+  /// this.
   constexpr options& portable(bool v) {
     portable_ = v;
     return *this;
   }
   constexpr bool portable() const { return portable_; }
 
-  // Segment capacity = 2^seg_order slots (unbounded FAA backend).
+  /// Segment capacity = 2^seg_order slots (unbounded FAA backend).
   constexpr options& seg_order(unsigned v) {
     seg_order_ = v;
     return *this;
   }
   constexpr unsigned seg_order() const { return seg_order_; }
 
-  // SMR amnesty: retired nodes a thread may park before it must run a
-  // reclamation scan (backends with dynamic memory: MSQ, FAA, LCRQ).
-  // 0 = auto, the MAX_GARBAGE(n) = 2n shape over max_threads. Total
-  // parked garbage is bounded by max_threads x this value.
+  /// SMR amnesty: retired nodes a thread may park before it must run
+  /// a reclamation scan (backends with dynamic memory: MSQ, FAA,
+  /// LCRQ). 0 = auto, the MAX_GARBAGE(n) = 2n shape over max_threads.
+  /// Total parked garbage is bounded by max_threads x this value.
   constexpr options& retire_threshold(unsigned v) {
     retire_threshold_ = v;
     return *this;

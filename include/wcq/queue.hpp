@@ -1,28 +1,30 @@
-// wcq::queue<T, Backend> — the typed public face of the library.
-//
-// The paper presents wCQ as an index ring that "becomes" a general
-// queue by pairing aq/fq rings with a data array (§2.2, §5); the
-// backends here already store 64-bit slots, so the only missing piece
-// is a codec between T and a slot. slot_codec<T> stores any trivially
-// copyable T of at most 8 bytes directly in the slot (zero overhead —
-// for T = std::uint64_t the encode/decode compile away entirely) and
-// falls back to pointer indirection for anything larger, boxing the
-// value through the counting allocator so Figure 10's memory
-// accounting still sees it.
-//
-// Handles are RAII: get_handle() registers the calling thread with the
-// backend (a real ThreadRec slot for wCQ, nothing for SCQ/FAA/MSQ) and
-// destruction recycles the registration, so max_threads bounds
-// concurrent participants rather than lifetime thread count.
-//
-// Caveat: a backend may reserve slot bit patterns for its own
-// protocol (FaaQueue reserves the top two as EMPTY/TAKEN sentinels,
-// LcrqQueue the all-ones EMPTY pattern; wCQ/SCQ/MSQ reserve none). An
-// inline-encoded T whose bytes collide with a reserved pattern (e.g.
-// std::int64_t{-1} over FaaQueue) is refused by that backend's
-// try_push — use a boxed slot_codec specialization over such backends
-// when T needs the full 64-bit space, since pointers never collide
-// with the sentinels.
+/// \file
+/// `wcq::queue<T, Backend>` — the typed public face of the library.
+///
+/// The paper presents wCQ as an index ring that "becomes" a general
+/// queue by pairing aq/fq rings with a data array (§2.2, §5); the
+/// backends here already store 64-bit slots, so the only missing piece
+/// is a codec between T and a slot. `slot_codec<T>` stores any trivially
+/// copyable T of at most 8 bytes directly in the slot (zero overhead —
+/// for T = std::uint64_t the encode/decode compile away entirely) and
+/// falls back to pointer indirection for anything larger, boxing the
+/// value through the counting allocator so Figure 10's memory
+/// accounting still sees it.
+///
+/// Handles are RAII: get_handle() registers the calling thread with
+/// the backend (a real ThreadRec slot for wCQ, nothing for
+/// SCQ/FAA/MSQ) and destruction recycles the registration, so
+/// max_threads bounds concurrent participants rather than lifetime
+/// thread count.
+///
+/// Caveat: a backend may reserve slot bit patterns for its own
+/// protocol (FaaQueue reserves the top two as EMPTY/TAKEN sentinels,
+/// LcrqQueue the all-ones EMPTY pattern; wCQ/SCQ/MSQ reserve none). An
+/// inline-encoded T whose bytes collide with a reserved pattern (e.g.
+/// std::int64_t{-1} over FaaQueue) is refused by that backend's
+/// try_push — use a boxed slot_codec specialization over such backends
+/// when T needs the full 64-bit space, since pointers never collide
+/// with the sentinels.
 #pragma once
 
 #include <cstdint>
@@ -38,20 +40,21 @@
 
 namespace wcq {
 
-// True when T can live directly inside a 64-bit data slot.
+/// True when T can live directly inside a 64-bit data slot.
 template <typename T>
 inline constexpr bool fits_in_slot_v =
     std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(std::uint64_t) &&
     std::is_default_constructible_v<T>;
 
-// slot_codec<T> maps T <-> uint64_t slot. Specializable for user types
-// that have a smarter packing than the defaults below (e.g. tagged
-// 48-bit pointers). `kBoxed` tells the facade whether a slot owns an
-// allocation that must be reclaimed on failed pushes / queue teardown.
+/// `slot_codec<T>` maps T to and from a uint64_t slot. Specializable
+/// for user types that have a smarter packing than the defaults (e.g.
+/// tagged 48-bit pointers). `kBoxed` tells the facade whether a slot
+/// owns an allocation that must be reclaimed on failed pushes / queue
+/// teardown.
 template <typename T, bool Inline = fits_in_slot_v<T>>
 struct slot_codec;
 
-// Inline storage: bitwise copy into the low bytes of the slot.
+/// Inline storage: bitwise copy into the low bytes of the slot.
 template <typename T>
 struct slot_codec<T, true> {
   static constexpr bool kBoxed = false;
@@ -71,9 +74,9 @@ struct slot_codec<T, true> {
   static void drop(std::uint64_t) {}
 };
 
-// Boxed storage: the slot carries a pointer to a heap copy. Goes
-// through mem::alloc so boxed traffic shows up in the Figure 10
-// memory accounting like every other queue allocation.
+/// Boxed storage: the slot carries a pointer to a heap copy. Goes
+/// through mem::alloc so boxed traffic shows up in the Figure 10
+/// memory accounting like every other queue allocation.
 template <typename T>
 struct slot_codec<T, false> {
   static constexpr bool kBoxed = true;
@@ -99,6 +102,12 @@ struct slot_codec<T, false> {
   }
 };
 
+/// The typed MPMC queue facade over any concepts::Backend.
+///
+/// Move-only, options-constructible, used through per-thread RAII
+/// handles. Every instantiation satisfies concepts::Queue, which is
+/// the constraint all benches, tests, and workloads in this repo
+/// program against.
 template <typename T, typename Backend = WcqQueue>
 class queue {
   static_assert(concepts::Backend<Backend>,
@@ -110,9 +119,9 @@ class queue {
   using backend_type = Backend;
   using codec = slot_codec<T>;
 
-  // RAII thread registration; move-only. One per participating
-  // thread, and it must not outlive the queue it came from (its
-  // destructor returns the registration to the queue).
+  /// RAII thread registration; move-only. One per participating
+  /// thread, and it must not outlive the queue it came from (its
+  /// destructor returns the registration to the queue).
   class handle {
    public:
     handle() = delete;
@@ -129,8 +138,8 @@ class queue {
 
   explicit queue(const options& opt = options{}) : backend_(opt) {}
 
-  // Boxed values still sitting in the queue own heap memory; reclaim
-  // them before the backend tears down its rings.
+  /// Boxed values still sitting in the queue own heap memory; reclaim
+  /// them before the backend tears down its rings.
   ~queue() {
     if constexpr (codec::kBoxed) {
       auto h = backend_.try_get_handle();
@@ -144,17 +153,18 @@ class queue {
   queue(const queue&) = delete;
   queue& operator=(const queue&) = delete;
 
-  // nullopt iff max_threads handles are simultaneously live.
+  /// nullopt iff max_threads handles are simultaneously live.
   std::optional<handle> try_get_handle() {
     auto h = backend_.try_get_handle();
     if (!h) return std::nullopt;
     return handle(std::move(*h));
   }
 
-  // Throwing flavor for call sites where exhaustion is a logic error.
+  /// Throwing flavor for call sites where exhaustion is a logic
+  /// error.
   handle get_handle() { return handle(backend_.get_handle()); }
 
-  // False iff the queue is full (bounded backends only).
+  /// False iff the queue is full (bounded backends only).
   bool try_push(T v, handle& h) {
     const std::uint64_t slot = codec::encode(std::move(v));
     if (backend_.try_push(slot, h.h_)) return true;
@@ -162,29 +172,32 @@ class queue {
     return false;
   }
 
-  // nullopt iff the queue is empty.
+  /// nullopt iff the queue is empty.
   std::optional<T> try_pop(handle& h) {
     std::uint64_t slot = 0;
     if (!backend_.try_pop(&slot, h.h_)) return std::nullopt;
     return codec::decode(slot);
   }
 
-  // Backend extras surface only where they exist (wCQ stats, bounded
-  // capacity), so the facade adds no requirements beyond the concept.
+  /// Backend extras surface only where they exist (wCQ stats, bounded
+  /// capacity), so the facade adds no requirements beyond the
+  /// concept.
   auto capacity() const
     requires requires(const Backend& b) { b.capacity(); }
   {
     return backend_.capacity();
   }
 
+  /// Fast/slow-path operation and help counters (ObservableQueue
+  /// backends).
   auto stats() const
     requires requires(const Backend& b) { b.stats(); }
   {
     return backend_.stats();
   }
 
-  // Backends that reclaim through the shared SMR layer (MSQ, FAA,
-  // LCRQ) expose the domain's retire/scan counters.
+  /// Backends that reclaim through the shared SMR layer (MSQ, FAA,
+  /// LCRQ) expose the domain's retire/scan counters.
   auto smr_stats() const
     requires requires(const Backend& b) { b.smr_stats(); }
   {

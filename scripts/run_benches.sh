@@ -2,37 +2,63 @@
 # Smoke-run every figure/ablation bench binary with small (env-tunable)
 # sizes and collect machine-readable results:
 #   <outdir>/BENCH_<name>.csv    — the bench's --csv table(s)
-#   <outdir>/BENCH_summary.json  — status + timing per bench
+#   <outdir>/BENCH_summary.json  — status + timing per bench; for the
+#                                  latency-instrumented benches also the
+#                                  wCQ p50/p99/p99.9/max row at the
+#                                  widest thread count
 #
-# Usage: scripts/run_benches.sh [--paper] [build-dir] [out-dir]
+# Usage: scripts/run_benches.sh [--paper|--open-loop] [build-dir] [out-dir]
 #
 # --paper selects the paper's full methodology: 10M ops per data
 # point, 10 runs, the thread sweep of the figures (1..144), and the
 # 2^16 ring order the options default already matches. Expect hours,
 # not minutes. Without it the defaults are CI-sized smoke values.
+#
+# --open-loop runs only bench_latency_openloop, sized for a meaningful
+# response-time distribution (Poisson arrivals at a rate a laptop
+# sustains; raise WCQ_BENCH_RATE toward saturation to see queueing
+# delay dominate the tail — see docs/BENCHMARKING.md).
+#
 # Either way the env knobs win when set explicitly:
 #   WCQ_BENCH_OPS (default 50000), WCQ_BENCH_RUNS (1),
-#   WCQ_BENCH_THREADS (1,2)
+#   WCQ_BENCH_THREADS (1,2), WCQ_BENCH_RATE / WCQ_BENCH_ARRIVAL
+#   (open-loop bench only), WCQ_BENCH_SAMPLE (latency sampling period)
 set -u
 
 PRESET=smoke
-if [ "${1:-}" = "--paper" ]; then
-  PRESET=paper
-  shift
-fi
+case "${1:-}" in
+  --paper)
+    PRESET=paper
+    shift
+    ;;
+  --open-loop)
+    PRESET=open-loop
+    shift
+    ;;
+esac
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 
-if [ "$PRESET" = paper ]; then
-  export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-10000000}"
-  export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-10}"
-  export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2,4,8,18,36,72,144}"
-else
-  export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-50000}"
-  export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-1}"
-  export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2}"
-fi
+case "$PRESET" in
+  paper)
+    export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-10000000}"
+    export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-10}"
+    export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2,4,8,18,36,72,144}"
+    ;;
+  open-loop)
+    export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-200000}"
+    export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-3}"
+    export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2,4}"
+    export WCQ_BENCH_RATE="${WCQ_BENCH_RATE:-500000}"
+    export WCQ_BENCH_ARRIVAL="${WCQ_BENCH_ARRIVAL:-poisson}"
+    ;;
+  *)
+    export WCQ_BENCH_OPS="${WCQ_BENCH_OPS:-50000}"
+    export WCQ_BENCH_RUNS="${WCQ_BENCH_RUNS:-1}"
+    export WCQ_BENCH_THREADS="${WCQ_BENCH_THREADS:-1,2}"
+    ;;
+esac
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
@@ -40,12 +66,45 @@ if [ ! -d "$BUILD_DIR" ]; then
 fi
 mkdir -p "$OUT_DIR"
 
-benches=$(find "$BUILD_DIR" -maxdepth 1 -type f -name 'bench_*' \
-  ! -name 'bench_micro_ops' -perm -u+x | sort)
+if [ "$PRESET" = open-loop ]; then
+  benches=$(find "$BUILD_DIR" -maxdepth 1 -type f \
+    -name 'bench_latency_openloop' -perm -u+x)
+else
+  benches=$(find "$BUILD_DIR" -maxdepth 1 -type f -name 'bench_*' \
+    ! -name 'bench_micro_ops' -perm -u+x | sort)
+fi
 if [ -z "$benches" ]; then
   echo "error: no bench_* binaries in '$BUILD_DIR'" >&2
   exit 2
 fi
+
+# From a latency-instrumented CSV (header carries p50_ns columns),
+# emit a JSON fragment with the wCQ percentile row at the widest
+# thread count; emit nothing for plain throughput CSVs.
+latency_fragment() {
+  awk -F, '
+    # The bench files carry the human table first, then the CSV block;
+    # the header row anywhere in the file announces the latter.
+    $1 == "series" {
+      delete col
+      for (i = 1; i <= NF; ++i) col[$i] = i
+      next
+    }
+    ("p50_ns" in col) && $1 == "wCQ" && ($2 + 0) >= best_x {
+      best_x = $2 + 0
+      seen = 1
+      mops = $(col["mops"]); p50 = $(col["p50_ns"])
+      p99 = $(col["p99_ns"]); p999 = $(col["p999_ns"])
+      max = $(col["max_ns"])
+    }
+    END {
+      if (seen)
+        printf ", \"latency\": {\"series\": \"wCQ\", \"threads\": %d, " \
+               "\"mops\": %s, \"p50_ns\": %s, \"p99_ns\": %s, " \
+               "\"p999_ns\": %s, \"max_ns\": %s}",
+               best_x, mops, p50, p99, p999, max
+    }' "$1"
+}
 
 summary="$OUT_DIR/BENCH_summary.json"
 {
@@ -54,6 +113,10 @@ summary="$OUT_DIR/BENCH_summary.json"
   echo "  \"ops\": $WCQ_BENCH_OPS,"
   echo "  \"runs\": $WCQ_BENCH_RUNS,"
   echo "  \"threads\": \"$WCQ_BENCH_THREADS\","
+  if [ "$PRESET" = open-loop ]; then
+    echo "  \"rate_hz\": $WCQ_BENCH_RATE,"
+    echo "  \"arrival\": \"$WCQ_BENCH_ARRIVAL\","
+  fi
   echo "  \"benches\": ["
 } > "$summary"
 
@@ -72,10 +135,11 @@ for bin in $benches; do
     echo "   FAILED — see $OUT_DIR/BENCH_${name}.log" >&2
   fi
   elapsed=$(( $(date +%s) - start ))
+  latency=$(latency_fragment "$csv")
   [ "$first" = 1 ] || echo "    ," >> "$summary"
   first=0
-  printf '    {"name": "%s", "status": "%s", "seconds": %s, "csv": "%s"}\n' \
-    "$name" "$status" "$elapsed" "BENCH_${name}.csv" >> "$summary"
+  printf '    {"name": "%s", "status": "%s", "seconds": %s, "csv": "%s"%s}\n' \
+    "$name" "$status" "$elapsed" "BENCH_${name}.csv" "$latency" >> "$summary"
 done
 
 {

@@ -1,6 +1,12 @@
-// SeriesTable: collect (series, x, value) points and print them as a
-// figure-shaped table (rows = x values, columns = series in insertion
-// order) or as long-format CSV for the plotting scripts.
+// Result tables the bench binaries print.
+//
+//  - SeriesTable: one scalar per (series, x) — the figure-shaped
+//    throughput tables (rows = x values, columns = series), plus
+//    long-format CSV for the plotting scripts.
+//  - MetricsTable: one OpMetrics bundle per (series, x) — throughput
+//    alongside per-op latency percentiles (p50/p99/p99.9/max ns), with
+//    CSV and JSON emission so scripts/run_benches.sh can lift the
+//    percentile fields into BENCH_summary.json without a parser.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 #include <ostream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wcq::harness {
@@ -69,11 +76,95 @@ class SeriesTable {
   std::set<std::uint64_t> xs_;
 };
 
-inline bool want_csv(int argc, char** argv) {
+// One measured point of a latency-first bench: throughput plus the
+// per-op latency distribution's headline percentiles in nanoseconds.
+struct OpMetrics {
+  double mops = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+// (series, x) -> OpMetrics. Printed as one wide row per point (the
+// human table), as long-format CSV with one column per metric, or as a
+// JSON object for machine consumers.
+class MetricsTable {
+ public:
+  MetricsTable(std::string title, std::string x_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+  void set(const std::string& series, std::uint64_t x, const OpMetrics& m) {
+    if (data_.find(series) == data_.end()) order_.push_back(series);
+    data_[series][x] = m;
+  }
+
+  const std::string& title() const { return title_; }
+
+  void print(std::ostream& os) const {
+    os << "== " << title_ << " ==\n";
+    os << std::setw(12) << "series" << std::setw(10) << x_label_
+       << std::setw(12) << "Mops/sec" << std::setw(12) << "p50_ns"
+       << std::setw(12) << "p99_ns" << std::setw(12) << "p99.9_ns"
+       << std::setw(12) << "max_ns" << "\n";
+    for (const auto& name : order_) {
+      for (const auto& [x, m] : data_.at(name)) {
+        os << std::setw(12) << name << std::setw(10) << x << std::setw(12)
+           << std::fixed << std::setprecision(3) << m.mops << std::setw(12)
+           << m.p50_ns << std::setw(12) << m.p99_ns << std::setw(12)
+           << m.p999_ns << std::setw(12) << m.max_ns << "\n";
+      }
+    }
+  }
+
+  void print_csv(std::ostream& os) const {
+    os << "# " << title_ << "\n";
+    os << "series," << x_label_ << ",mops,p50_ns,p99_ns,p999_ns,max_ns\n";
+    for (const auto& name : order_) {
+      for (const auto& [x, m] : data_.at(name)) {
+        os << name << "," << x << "," << m.mops << "," << m.p50_ns << ","
+           << m.p99_ns << "," << m.p999_ns << "," << m.max_ns << "\n";
+      }
+    }
+  }
+
+  void print_json(std::ostream& os) const {
+    os << "{\"title\": \"" << title_ << "\", \"x_label\": \"" << x_label_
+       << "\", \"points\": [";
+    bool first = true;
+    for (const auto& name : order_) {
+      for (const auto& [x, m] : data_.at(name)) {
+        if (!first) os << ", ";
+        first = false;
+        os << "{\"series\": \"" << name << "\", \"x\": " << x
+           << ", \"mops\": " << m.mops << ", \"p50_ns\": " << m.p50_ns
+           << ", \"p99_ns\": " << m.p99_ns << ", \"p999_ns\": " << m.p999_ns
+           << ", \"max_ns\": " << m.max_ns << "}";
+      }
+    }
+    os << "]}\n";
+  }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::map<std::uint64_t, OpMetrics>> data_;
+};
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) return true;
+    if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+inline bool want_csv(int argc, char** argv) {
+  return has_flag(argc, argv, "--csv");
+}
+
+inline bool want_json(int argc, char** argv) {
+  return has_flag(argc, argv, "--json");
 }
 
 }  // namespace wcq::harness

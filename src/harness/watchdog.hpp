@@ -1,0 +1,162 @@
+// Starvation watchdog: a monitor thread that converts a livelocked or
+// starved queue operation into a crisp, attributed failure instead of
+// a silent ctest timeout.
+//
+// wCQ's headline guarantee is per-operation progress: every operation
+// finishes in a bounded number of *its own* steps, no matter how
+// threads are scheduled. Wall-clock is only a proxy for steps — a
+// preempted thread executes no steps while off-CPU — so the watchdog's
+// stall limit has to be generous enough to absorb scheduler noise on
+// an oversubscribed box, but any op that stays in flight *while the
+// limit passes* is either livelocked (burning unbounded steps, which
+// wait-freedom forbids) or starved far beyond what injection-induced
+// preemption can explain. The soak test (tests/test_soak_liveness.cpp)
+// runs this under randomized sched-yield/busy-spin injection; a
+// violation there is a liveness bug, not noise.
+//
+// Usage: workers bracket each queue operation with op_begin/op_end on
+// their own lane. All lane state is relaxed atomics on padded
+// cache lines, so the instrumentation cost is two plain stores per op.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "harness/latency.hpp"
+#include "wcq/detail.hpp"
+
+namespace wcq::harness {
+
+class StarvationWatchdog {
+ public:
+  struct Report {
+    std::uint64_t violations = 0;     // ops seen in flight past the limit
+    std::uint64_t max_stall_ns = 0;   // longest in-flight time ever sampled
+    unsigned worst_thread = 0;        // lane of max_stall_ns
+    std::uint64_t total_ops = 0;      // completed ops across all lanes
+  };
+
+  // `stall_limit` is the per-operation wall-clock bound; `fatal` makes
+  // the monitor print every lane's state and abort() on the first
+  // violation (the soak test wants a fast, attributed failure rather
+  // than a hang that only the ctest timeout reaps).
+  StarvationWatchdog(unsigned threads, std::chrono::nanoseconds stall_limit,
+                     bool fatal = false)
+      : lanes_(threads),
+        limit_ns_(static_cast<std::uint64_t>(stall_limit.count())),
+        fatal_(fatal) {}
+
+  ~StarvationWatchdog() { stop(); }
+
+  StarvationWatchdog(const StarvationWatchdog&) = delete;
+  StarvationWatchdog& operator=(const StarvationWatchdog&) = delete;
+
+  void op_begin(unsigned tid) {
+    lanes_[tid].begin_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  void op_end(unsigned tid) {
+    lanes_[tid].begin_ns.store(0, std::memory_order_relaxed);
+    lanes_[tid].ops.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t ops(unsigned tid) const {
+    return lanes_[tid].ops.load(std::memory_order_relaxed);
+  }
+
+  // Spawn the monitor. Poll often enough to catch a stall well before
+  // the limit doubles, but never busier than 1 kHz.
+  void start() {
+    running_.store(true, std::memory_order_release);
+    monitor_ = std::thread([this] {
+      const std::uint64_t poll_ns =
+          limit_ns_ / 8 > 1'000'000 ? limit_ns_ / 8 : 1'000'000;
+      while (running_.load(std::memory_order_acquire)) {
+        sample();
+        std::this_thread::sleep_for(std::chrono::nanoseconds(poll_ns));
+      }
+      sample();  // final sweep so a stall right before stop() still counts
+    });
+  }
+
+  void stop() {
+    if (monitor_.joinable()) {
+      running_.store(false, std::memory_order_release);
+      monitor_.join();
+    }
+  }
+
+  Report report() const {
+    Report r;
+    r.violations = violations_.load(std::memory_order_relaxed);
+    r.max_stall_ns = max_stall_ns_.load(std::memory_order_relaxed);
+    r.worst_thread = worst_thread_.load(std::memory_order_relaxed);
+    for (const Lane& lane : lanes_) {
+      r.total_ops += lane.ops.load(std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+ private:
+  struct alignas(detail::kNoFalseSharing) Lane {
+    std::atomic<std::uint64_t> begin_ns{0};  // 0 = no op in flight
+    std::atomic<std::uint64_t> ops{0};
+  };
+
+  void sample() {
+    const std::uint64_t now = now_ns();
+    for (unsigned t = 0; t < lanes_.size(); ++t) {
+      const std::uint64_t begin =
+          lanes_[t].begin_ns.load(std::memory_order_relaxed);
+      if (begin == 0 || now <= begin) continue;
+      const std::uint64_t stall = now - begin;
+      if (stall > max_stall_ns_.load(std::memory_order_relaxed)) {
+        max_stall_ns_.store(stall, std::memory_order_relaxed);
+        worst_thread_.store(t, std::memory_order_relaxed);
+      }
+      if (stall > limit_ns_) {
+        violations_.fetch_add(1, std::memory_order_relaxed);
+        if (fatal_) {
+          std::fprintf(stderr,
+                       "watchdog: thread %u op in flight for %.3f s "
+                       "(limit %.3f s) — liveness violation\n",
+                       t, static_cast<double>(stall) / 1e9,
+                       static_cast<double>(limit_ns_) / 1e9);
+          dump(now);
+          std::abort();
+        }
+      }
+    }
+  }
+
+  void dump(std::uint64_t now) const {
+    for (unsigned t = 0; t < lanes_.size(); ++t) {
+      const std::uint64_t begin =
+          lanes_[t].begin_ns.load(std::memory_order_relaxed);
+      const auto ops = static_cast<unsigned long long>(
+          lanes_[t].ops.load(std::memory_order_relaxed));
+      if (begin == 0) {
+        std::fprintf(stderr, "  thread %u: %llu ops, idle\n", t, ops);
+      } else {
+        std::fprintf(stderr, "  thread %u: %llu ops, %.3f ms in flight\n", t,
+                     ops, static_cast<double>(now - begin) / 1e6);
+      }
+    }
+  }
+
+  std::vector<Lane> lanes_;
+  const std::uint64_t limit_ns_;
+  const bool fatal_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> max_stall_ns_{0};
+  std::atomic<unsigned> worst_thread_{0};
+  std::thread monitor_;
+};
+
+}  // namespace wcq::harness
