@@ -90,6 +90,10 @@ int main(int argc, char** argv) {
                                        poisson);
   openloop_series<harness::LcrqAdapter>(table, sweep, arrivals, runs, rate,
                                         poisson);
+  // The PR 9 scaling layer rides the same sweep: sharding should keep
+  // response times flat as the offered load spreads over shards.
+  openloop_series<harness::ShardedWcqAdapter>(table, sweep, arrivals, runs,
+                                              rate, poisson);
 
   emit_metrics(table, argc, argv);
   return 0;

@@ -108,6 +108,82 @@ class FaaQueue {
     return pop_impl(v, h.slot());
   }
 
+  // Batch enqueue: claims tickets for a whole run of values with ONE
+  // tail FAA and deposits them on consecutive cells, hoisting the
+  // segment lookup out of the per-value loop. Returns the number of
+  // values accepted: the longest sentinel-free prefix of vs (a
+  // sentinel stops the batch exactly where try_push would refuse it).
+  // Per-pusher FIFO is preserved: when a racing dequeuer poisons a
+  // cell mid-burst, the *remaining* values — not just the collided
+  // one — are re-ticketed together, so their relative order survives.
+  std::size_t try_push_n(const std::uint64_t* vs, std::size_t n, Handle& h) {
+    std::size_t k = 0;
+    while (k < n && vs[k] < kTakenCell) ++k;
+    if (k == 0) return 0;
+    smr::Domain::Pin pin(smr_, h.slot());
+    const std::uint64_t* p = vs;
+    std::size_t rem = k;
+    while (rem > 0) {
+      const std::uint64_t t0 =
+          tail_.fetch_add(rem, std::memory_order_seq_cst);
+      Segment* s = nullptr;
+      std::size_t done = 0;
+      for (; done < rem; ++done) {
+        const std::uint64_t t = t0 + done;
+        if (s == nullptr || s->id != (t >> seg_order_)) {
+          s = find_segment(&tail_seg_, t >> seg_order_);
+        }
+        std::uint64_t expected = kEmptyCell;
+        if (!s->slots()[t & (seg_slots_ - 1)].compare_exchange_strong(
+                expected, p[done], std::memory_order_release,
+                std::memory_order_relaxed)) {
+          // A too-fast dequeuer consumed this ticket. Abandon the rest
+          // of the burst's tickets (their cells stay EMPTY; dequeuers
+          // skip them) and re-burst the undeposited suffix in order.
+          break;
+        }
+      }
+      // done counts deposits only; a collided value leads the next
+      // burst, keeping the suffix in order.
+      p += done;
+      rem -= done;
+    }
+    return k;
+  }
+
+  // Batch dequeue: claims up to n head tickets with ONE FAA (bounded
+  // by the observed tail so an empty queue costs no tickets) and
+  // collects the deposited cells in ticket order. Returns how many
+  // values landed in out — possibly fewer than claimed when racing
+  // enqueuers had not yet deposited (their values are re-ticketed by
+  // their own retry loop; nothing is lost), zero iff empty.
+  std::size_t try_pop_n(std::uint64_t* out, std::size_t n, Handle& h) {
+    if (n == 0) return 0;
+    smr::Domain::Pin pin(smr_, h.slot());
+    std::size_t got = 0;
+    while (got == 0) {
+      const std::uint64_t head = head_.load(std::memory_order_seq_cst);
+      const std::uint64_t tail = tail_.load(std::memory_order_seq_cst);
+      if (head >= tail) return 0;
+      std::uint64_t k = tail - head;
+      if (k > n) k = n;
+      const std::uint64_t h0 =
+          head_.fetch_add(k, std::memory_order_seq_cst);
+      Segment* s = nullptr;
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const std::uint64_t t = h0 + i;
+        if (s == nullptr || s->id != (t >> seg_order_)) {
+          s = find_segment(&head_seg_, t >> seg_order_);
+        }
+        const std::uint64_t old = s->slots()[t & (seg_slots_ - 1)].exchange(
+            kTakenCell, std::memory_order_acq_rel);
+        if ((t & (seg_slots_ - 1)) == 0) reclaim_segments(h.slot());
+        if (old != kEmptyCell) out[got++] = old;
+      }
+    }
+    return got;
+  }
+
   smr::Stats smr_stats() const { return smr_.stats(); }
 
  private:

@@ -17,6 +17,18 @@
 
 namespace wcq {
 
+/// How `wcq::sharded<T>` picks the shard an operation lands on.
+/// Ordering contract per picker is documented on wcq/sharded.hpp; all
+/// of them preserve per-shard FIFO, only `sequenced` restores a global
+/// order (by serializing the picker — test builds, not production).
+enum class shard_policy : unsigned char {
+  round_robin,  ///< per-handle cursor, one step per op (default)
+  sticky,       ///< producer/consumer shard affinity, rebalance on
+                ///< full (push) or empty (pop)
+  load_aware,   ///< two-choice by approximate shard occupancy
+  sequenced,    ///< global ticket order under a picker lock (tests)
+};
+
 /// Fluent configuration builder shared by every queue backend.
 ///
 /// Defaults match the paper's §6 methodology (2^16 ring, patience
@@ -108,6 +120,36 @@ class options {
   }
   constexpr unsigned retire_threshold() const { return retire_threshold_; }
 
+  /// Shard count for wcq::sharded (must be a power of two; its
+  /// constructor throws std::invalid_argument otherwise). 0 = auto:
+  /// a machine-derived count (see wcq/sharded.hpp). Total capacity
+  /// stays 2^order — it is split across the shards, so one options
+  /// value sizes a sharded and an unsharded queue identically.
+  constexpr options& shards(unsigned v) {
+    shards_ = v;
+    return *this;
+  }
+  constexpr unsigned shards() const { return shards_; }
+
+  /// Shard-picking policy for wcq::sharded (ignored by plain
+  /// backends). See wcq::shard_policy.
+  using shard_policy_t = wcq::shard_policy;
+  constexpr options& shard_policy(shard_policy_t v) {
+    shard_policy_ = v;
+    return *this;
+  }
+  constexpr shard_policy_t shard_policy() const { return shard_policy_; }
+
+  /// Largest batch one try_push_n/try_pop_n call amortizes over a
+  /// single shard selection; longer spans are processed in chunks of
+  /// this size (re-picking between chunks). Must be >= 1 — the
+  /// sharded constructor throws std::invalid_argument on 0.
+  constexpr options& batch_limit(unsigned v) {
+    batch_limit_ = v;
+    return *this;
+  }
+  constexpr unsigned batch_limit() const { return batch_limit_; }
+
  private:
   unsigned order_ = 16;
   unsigned max_threads_ = 128;
@@ -118,6 +160,9 @@ class options {
   bool portable_ = false;
   unsigned seg_order_ = 10;
   unsigned retire_threshold_ = 0;
+  unsigned shards_ = 0;  // 0 = auto
+  shard_policy_t shard_policy_ = shard_policy_t::round_robin;
+  unsigned batch_limit_ = 64;
 };
 
 }  // namespace wcq

@@ -27,6 +27,8 @@
 /// with the sentinels.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <optional>
@@ -119,6 +121,9 @@ class queue {
   using backend_type = Backend;
   using codec = slot_codec<T>;
 
+  /// Slot scratch per batch round-trip (stack-allocated, 2 KiB).
+  static constexpr std::size_t kBatchChunk = 256;
+
   /// RAII thread registration; move-only. One per participating
   /// thread, and it must not outlive the queue it came from (its
   /// destructor returns the registration to the queue).
@@ -177,6 +182,71 @@ class queue {
     std::uint64_t slot = 0;
     if (!backend_.try_pop(&slot, h.h_)) return std::nullopt;
     return codec::decode(slot);
+  }
+
+  /// Batch enqueue: pushes vs[0..n) in order, stopping at the first
+  /// refusal (queue full, or a backend-reserved sentinel pattern);
+  /// returns how many were accepted. On backends with a native batch
+  /// op (FaaQueue's single-FAA ticket burst) a whole chunk costs one
+  /// ticket acquisition; elsewhere this is a plain loop — same
+  /// semantics, no amortization. Boxed payloads work: each value is
+  /// encoded through slot_codec and a refused value's box is dropped.
+  std::size_t try_push_n(const T* vs, std::size_t n, handle& h) {
+    std::size_t pushed = 0;
+    if constexpr (requires(std::uint64_t* s) {
+                    { backend_.try_push_n(s, n, h.h_) }
+                      -> std::same_as<std::size_t>;
+                  }) {
+      std::uint64_t slots[kBatchChunk];
+      while (pushed < n) {
+        const std::size_t chunk = std::min(n - pushed, kBatchChunk);
+        for (std::size_t i = 0; i < chunk; ++i) {
+          slots[i] = codec::encode(vs[pushed + i]);
+        }
+        const std::size_t ok = backend_.try_push_n(slots, chunk, h.h_);
+        for (std::size_t i = ok; i < chunk; ++i) codec::drop(slots[i]);
+        pushed += ok;
+        if (ok < chunk) break;
+      }
+    } else {
+      for (; pushed < n; ++pushed) {
+        const std::uint64_t slot = codec::encode(vs[pushed]);
+        if (!backend_.try_push(slot, h.h_)) {
+          codec::drop(slot);
+          break;
+        }
+      }
+    }
+    return pushed;
+  }
+
+  /// Batch dequeue into out[0..n): returns how many values arrived
+  /// (zero iff the queue is empty), in queue order. Backends with a
+  /// native burst claim the whole run of tickets with one FAA.
+  std::size_t try_pop_n(T* out, std::size_t n, handle& h) {
+    std::size_t got = 0;
+    if constexpr (requires(std::uint64_t* s) {
+                    { backend_.try_pop_n(s, n, h.h_) }
+                      -> std::same_as<std::size_t>;
+                  }) {
+      std::uint64_t slots[kBatchChunk];
+      while (got < n) {
+        const std::size_t chunk = std::min(n - got, kBatchChunk);
+        const std::size_t ok = backend_.try_pop_n(slots, chunk, h.h_);
+        for (std::size_t i = 0; i < ok; ++i) {
+          out[got + i] = codec::decode(slots[i]);
+        }
+        got += ok;
+        if (ok < chunk) break;
+      }
+    } else {
+      for (; got < n; ++got) {
+        std::uint64_t slot = 0;
+        if (!backend_.try_pop(&slot, h.h_)) break;
+        out[got] = codec::decode(slot);
+      }
+    }
+    return got;
   }
 
   /// Backend extras surface only where they exist (wCQ stats, bounded

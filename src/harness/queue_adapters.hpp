@@ -23,6 +23,7 @@
 #include "wcq/msq.hpp"
 #include "wcq/queue.hpp"
 #include "wcq/scq.hpp"
+#include "wcq/sharded.hpp"
 #include "wcq/wcq.hpp"
 
 namespace wcq::harness {
@@ -35,6 +36,21 @@ class Lineup : public wcq::queue<std::uint64_t, Backend> {
   static constexpr const char* kName = Name;
   using base = wcq::queue<std::uint64_t, Backend>;
   using base::base;
+};
+
+// Sharded lineup entry: wcq::sharded over one backend. When the
+// options leave the shard count on auto (0) it is forced to 4 so the
+// shared tests exercise real multi-shard paths on any machine —
+// auto-resolution on a small box would yield one shard and the
+// sharding layer would be tested in name only.
+template <typename Backend, const char* Name>
+class ShardedLineup : public wcq::sharded<std::uint64_t, Backend> {
+ public:
+  static constexpr const char* kName = Name;
+  using base = wcq::sharded<std::uint64_t, Backend>;
+
+  explicit ShardedLineup(const options& opt = options{})
+      : base(opt.shards() != 0 ? opt : options{opt}.shards(4)) {}
 };
 
 // Series names as they appear in the paper's legends. A trailing '*'
@@ -50,6 +66,9 @@ inline constexpr char kYmcName[] = "YMC*";
 inline constexpr char kLcrqName[] = "LCRQ";
 inline constexpr char kMsqName[] = "MSQ";
 inline constexpr char kCrTurnName[] = "CRTurn*";
+inline constexpr char kShardedWcqName[] = "wCQ-shard";
+inline constexpr char kShardedLcrqName[] = "LCRQ-shard";
+inline constexpr char kShardedFaaName[] = "FAA-shard";
 
 using WcqAdapter = Lineup<WcqQueue, kWcqName>;
 using WcqPortableAdapter = Lineup<WcqPortableQueue, kWcqPortableName>;
@@ -66,6 +85,13 @@ using LcrqAdapter = Lineup<LcrqQueue, kLcrqName>;
 using MsqAdapter = Lineup<MsqQueue, kMsqName>;
 using CrTurnAdapter = Lineup<MsqQueue, kCrTurnName>;
 
+// The PR 9 scaling layer over the two flagship backends (plus FAA for
+// the shard-sweep benches, where its native ticket burst makes the
+// batch API's amortization visible).
+using ShardedWcqAdapter = ShardedLineup<WcqQueue, kShardedWcqName>;
+using ShardedLcrqAdapter = ShardedLineup<LcrqQueue, kShardedLcrqName>;
+using ShardedFaaAdapter = ShardedLineup<FaaQueue, kShardedFaaName>;
+
 // Every lineup entry satisfies the concept the whole harness programs
 // against; a backend that drifts breaks the build here, not in a
 // template stack twelve frames deep.
@@ -80,6 +106,9 @@ static_assert(concepts::Queue<YmcAdapter>);
 static_assert(concepts::Queue<LcrqAdapter>);
 static_assert(concepts::Queue<MsqAdapter>);
 static_assert(concepts::Queue<CrTurnAdapter>);
+static_assert(concepts::Queue<ShardedWcqAdapter>);
+static_assert(concepts::Queue<ShardedLcrqAdapter>);
+static_assert(concepts::Queue<ShardedFaaAdapter>);
 
 // The ablation benches read fast/slow/help counters through the typed
 // facade; the wCQ entries must stay observable.

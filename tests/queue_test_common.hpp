@@ -108,9 +108,14 @@ void test_full_ring(const char* name) {
 // MPMC no-loss/no-duplication: P producers push tagged values, C
 // consumers pop until everything is accounted for; every value must be
 // seen exactly once and per-producer order must be monotone.
+// check_order=false relaxes the per-producer order assertion for
+// queues whose contract is weaker than global per-producer FIFO —
+// wcq::sharded documents per-shard FIFO with relaxed cross-shard
+// order, so a producer's values spread over shards may legally be
+// observed out of sequence.
 template <concepts::Queue Q>
 void test_mpmc(const char* name, unsigned producers, unsigned consumers,
-               std::uint64_t per_producer) {
+               std::uint64_t per_producer, bool check_order = true) {
   // small ring: forces full/empty interleaving
   Q q(options{}.max_threads(producers + consumers + 2).order(10));
 
@@ -170,7 +175,8 @@ void test_mpmc(const char* name, unsigned producers, unsigned consumers,
     WCQ_CHECK(count == 1, "%s: value %llu seen %u times (lost/duplicated)",
               name, (unsigned long long)v, count);
   }
-  WCQ_CHECK(order_ok.load(), "%s: per-producer FIFO order violated", name);
+  WCQ_CHECK(!check_order || order_ok.load(),
+            "%s: per-producer FIFO order violated", name);
   std::printf("  ok mpmc %ux%u        %s\n", producers, consumers, name);
 }
 
@@ -185,7 +191,7 @@ inline bool selected(int argc, char** argv, const char* queue) {
 }
 
 // Invokes fn<Q>(tag) for each queue selected on the command line:
-// wcq, wcq-portable, scq, faa, msq, lcrq.
+// wcq, wcq-portable, scq, faa, msq, lcrq, sharded-wcq, sharded-lcrq.
 template <typename Fn>
 int for_selected_queues(int argc, char** argv, Fn fn) {
   bool matched = false;
@@ -213,10 +219,18 @@ int for_selected_queues(int argc, char** argv, Fn fn) {
     fn.template operator()<harness::LcrqAdapter>("lcrq");
     matched = true;
   }
+  if (selected(argc, argv, "sharded-wcq")) {
+    fn.template operator()<harness::ShardedWcqAdapter>("sharded-wcq");
+    matched = true;
+  }
+  if (selected(argc, argv, "sharded-lcrq")) {
+    fn.template operator()<harness::ShardedLcrqAdapter>("sharded-lcrq");
+    matched = true;
+  }
   if (!matched) {
     std::fprintf(stderr,
                  "unknown queue filter; expected one of: wcq wcq-portable "
-                 "scq faa msq lcrq\n");
+                 "scq faa msq lcrq sharded-wcq sharded-lcrq\n");
     return 2;
   }
   return 0;

@@ -196,6 +196,10 @@ int main() {
   test_churn_waves<MsqAdapter>("msq");
   test_churn_waves<FaaAdapter>("faa");
   test_churn_waves<LcrqAdapter>("lcrq");
+  // Sharded handles register with every shard at once; each wave must
+  // recycle a full row of sub-handle slots, not just one.
+  test_churn_waves<ShardedWcqAdapter>("sharded-wcq");
+  test_churn_waves<ShardedLcrqAdapter>("sharded-lcrq");
   test_exhaustion_is_an_error();
   test_serial_handle_recycling();
   test_handle_move_semantics();

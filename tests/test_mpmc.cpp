@@ -9,11 +9,15 @@ int main(int argc, char** argv) {
   const unsigned side = hw >= 8 ? 4 : 2;  // producers and consumers each
   const std::uint64_t per_producer = env_ops(hw >= 4 ? 20000 : 8000);
   auto fn = [&]<typename A>(const char* tag) {
-    test_mpmc<A>(tag, side, side, per_producer);
+    // Sharded entries promise per-shard FIFO only (cross-shard order
+    // is relaxed by contract), so the per-producer order assertion is
+    // skipped for them; no-loss/no-duplication still applies in full.
+    const bool check_order = std::strncmp(tag, "sharded", 7) != 0;
+    test_mpmc<A>(tag, side, side, per_producer, check_order);
     // Asymmetric shapes stress full-ring (many producers) and
     // empty-queue (many consumers) edges.
-    test_mpmc<A>(tag, 2 * side, 1, per_producer / 2);
-    test_mpmc<A>(tag, 1, 2 * side, per_producer / 2);
+    test_mpmc<A>(tag, 2 * side, 1, per_producer / 2, check_order);
+    test_mpmc<A>(tag, 1, 2 * side, per_producer / 2, check_order);
   };
   return for_selected_queues(argc, argv, fn);
 }

@@ -1,0 +1,381 @@
+// wcq::sharded correctness: the queue-of-queues layer's own contract
+// (per-shard FIFO, relaxed cross-shard order), every picker policy,
+// the batch API's edge cases (partial fills, zero spans, boxed
+// payloads, sentinel refusal, chunking), constructor validation, and
+// handle churn over recycled sub-handle rows. The shared battery
+// (fifo/empty_full/mpmc/churn) also runs the sharded adapters; this
+// file covers what those generic checks cannot see.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "queue_test_common.hpp"
+#include "wcq/faa_queue.hpp"
+#include "wcq/sharded.hpp"
+
+namespace {
+
+using namespace wcq;
+
+constexpr shard_policy kAllPolicies[] = {
+    shard_policy::round_robin,
+    shard_policy::sticky,
+    shard_policy::load_aware,
+    shard_policy::sequenced,
+};
+
+const char* policy_name(shard_policy p) {
+  switch (p) {
+    case shard_policy::round_robin:
+      return "round_robin";
+    case shard_policy::sticky:
+      return "sticky";
+    case shard_policy::load_aware:
+      return "load_aware";
+    case shard_policy::sequenced:
+      return "sequenced";
+  }
+  return "?";
+}
+
+// MPMC no-loss/no-duplication across shards, every policy. Producers
+// tag values; consumers account for every one exactly once. Order is
+// deliberately unchecked — cross-shard order is relaxed by contract.
+void test_mpmc_all_policies() {
+  const std::uint64_t per_producer = test::env_ops(8000);
+  for (const auto pol : kAllPolicies) {
+    constexpr unsigned kProducers = 3;
+    constexpr unsigned kConsumers = 3;
+    sharded<std::uint64_t> q(options{}
+                                 .order(10)
+                                 .shards(4)
+                                 .shard_policy(pol)
+                                 .max_threads(kProducers + kConsumers + 2));
+    const std::uint64_t total = per_producer * kProducers;
+    std::vector<std::atomic<std::uint32_t>> seen(total);
+    for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+    std::atomic<std::uint64_t> consumed{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        auto h = q.get_handle();
+        for (std::uint64_t i = 0; i < per_producer; ++i) {
+          while (!q.try_push(p * per_producer + i, h)) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (unsigned c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        auto h = q.get_handle();
+        while (consumed.load(std::memory_order_acquire) < total) {
+          const auto v = q.try_pop(h);
+          if (!v) {
+            std::this_thread::yield();
+            continue;
+          }
+          WCQ_CHECK(*v < total, "sharded/%s: out-of-range %llu",
+                    policy_name(pol), (unsigned long long)*v);
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::uint64_t v = 0; v < total; ++v) {
+      WCQ_CHECK(seen[v].load() == 1, "sharded/%s: value %llu seen %u times",
+                policy_name(pol), (unsigned long long)v, seen[v].load());
+    }
+    std::printf("  ok sharded_mpmc      %s\n", policy_name(pol));
+  }
+}
+
+// Per-shard FIFO: values one handle pushes into one shard come back in
+// push order. Sticky pins the whole sequence to the handle's home
+// shard, making the layer's strongest ordering claim directly
+// checkable through the public surface.
+void test_per_shard_fifo_sticky() {
+  sharded<std::uint64_t> q(
+      options{}.order(12).shards(4).shard_policy(shard_policy::sticky));
+  auto h = q.get_handle();
+  const std::uint64_t n = 500;  // fits one shard (order 12/4 = 1024)
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WCQ_CHECK(q.try_push(i, h), "sticky push %llu refused",
+              (unsigned long long)i);
+  }
+  // Exactly one shard is non-empty, and it holds everything.
+  unsigned loaded = 0;
+  for (unsigned s = 0; s < q.shard_count(); ++s) {
+    if (q.shard_load(s) != 0) {
+      ++loaded;
+      WCQ_CHECK(q.shard_load(s) == static_cast<std::int64_t>(n),
+                "sticky scattered: shard %u holds %lld of %llu", s,
+                (long long)q.shard_load(s), (unsigned long long)n);
+    }
+  }
+  WCQ_CHECK(loaded == 1, "sticky touched %u shards", loaded);
+  // Same handle, aligned home: exact FIFO back out.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto v = q.try_pop(h);
+    WCQ_CHECK(v && *v == i, "sticky FIFO broken at %llu",
+              (unsigned long long)i);
+  }
+  std::printf("  ok sharded_fifo      sticky per-shard order\n");
+}
+
+// Sticky rebalance: filling the home shard must move the handle to a
+// new home (push keeps succeeding past one shard's capacity), and a
+// pop on an empty home must find the data wherever it lives.
+void test_sticky_rebalance() {
+  // 4 shards x 16 slots each
+  sharded<std::uint64_t> q(
+      options{}.order(6).shards(4).shard_policy(shard_policy::sticky));
+  auto h = q.get_handle();
+  // Full capacity must be reachable despite per-shard rings of 16:
+  // each overflow rebalances the home to the shard that accepted.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    WCQ_CHECK(q.try_push(i, h), "rebalance push %llu refused",
+              (unsigned long long)i);
+  }
+  WCQ_CHECK(!q.try_push(999, h), "push past total capacity succeeded");
+  unsigned non_empty = 0;
+  for (unsigned s = 0; s < 4; ++s) non_empty += q.shard_load(s) != 0;
+  WCQ_CHECK(non_empty == 4, "rebalance-on-full reached %u of 4 shards",
+            non_empty);
+
+  // A second handle (different home) drains everything: rebalance-on-
+  // empty walks it across all shards.
+  auto h2 = q.get_handle();
+  unsigned got = 0;
+  while (q.try_pop(h2)) ++got;
+  WCQ_CHECK(got == 64, "rebalance-on-empty drained %u of 64", got);
+  std::printf("  ok sharded_rebalance sticky full/empty\n");
+}
+
+// Sequenced policy restores exact global FIFO even though values
+// spread across shards: push k and pop k meet at the same shard
+// because tickets are only consumed on success.
+void test_sequenced_global_fifo() {
+  sharded<std::uint64_t> q(
+      options{}.order(10).shards(4).shard_policy(shard_policy::sequenced));
+  auto h = q.get_handle();
+  const std::uint64_t n = 700;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WCQ_CHECK(q.try_push(i, h), "sequenced push refused");
+  }
+  // All four shards hold a slice — this is not one-shard FIFO.
+  for (unsigned s = 0; s < 4; ++s) {
+    WCQ_CHECK(q.shard_load(s) > 0, "sequenced skipped shard %u", s);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto v = q.try_pop(h);
+    WCQ_CHECK(v && *v == i, "sequenced global FIFO broken at %llu: got %llu",
+              (unsigned long long)i, (unsigned long long)(v ? *v : ~0ull));
+  }
+  std::printf("  ok sharded_sequenced global FIFO across shards\n");
+}
+
+// Batch edges: zero-size spans, spans above batch_limit (chunking),
+// partial acceptance at capacity, and partial pops at drain.
+void test_batch_edges() {
+  sharded<std::uint64_t> q(options{}.order(8).shards(4).batch_limit(16));
+  auto h = q.get_handle();
+
+  std::uint64_t none = 0;
+  WCQ_CHECK(q.try_push_n(&none, 0, h) == 0, "zero-size push_n");
+  WCQ_CHECK(q.try_pop_n(&none, 0, h) == 0, "zero-size pop_n");
+
+  // 200 values through batch_limit=16 chunks.
+  std::vector<std::uint64_t> in(200), out(200);
+  for (std::uint64_t i = 0; i < 200; ++i) in[i] = i;
+  WCQ_CHECK(q.try_push_n(in.data(), 200, h) == 200, "chunked push_n");
+  std::size_t got = 0;
+  while (got < 200) {
+    const std::size_t k = q.try_pop_n(out.data() + got, 200 - got, h);
+    WCQ_CHECK(k > 0, "pop_n stalled at %zu of 200", got);
+    got += k;
+  }
+  std::vector<bool> seen(200, false);
+  for (std::uint64_t v : out) {
+    WCQ_CHECK(v < 200 && !seen[v], "batch lost/duplicated %llu",
+              (unsigned long long)v);
+    seen[v] = true;
+  }
+  WCQ_CHECK(q.try_pop_n(out.data(), 200, h) == 0, "drained pop_n not 0");
+
+  // Partial acceptance: capacity 256, offer 300 — exactly 256 land.
+  std::vector<std::uint64_t> big(300, 7);
+  WCQ_CHECK(q.try_push_n(big.data(), 300, h) == 256,
+            "partial push_n at capacity");
+  WCQ_CHECK(q.try_push(1, h) == false, "queue should be full");
+  got = 0;
+  while (got < 256) got += q.try_pop_n(out.data(), 200, h);
+  WCQ_CHECK(got == 256, "partial drain got %zu", got);
+  std::printf("  ok sharded_batch     edges (zero/chunk/partial)\n");
+}
+
+// Boxed payloads batch exactly like inline ones: every value goes
+// through slot_codec's heap box, refused boxes are dropped (ASan
+// leak-checks this binary), and teardown drains live boxes.
+void test_batch_boxed() {
+  sharded<std::string> q(options{}.order(8).shards(2).batch_limit(8));
+  auto h = q.get_handle();
+  std::vector<std::string> in, out(64);
+  for (int i = 0; i < 64; ++i) in.push_back("value-" + std::to_string(i));
+  WCQ_CHECK(q.try_push_n(in.data(), in.size(), h) == 64, "boxed push_n");
+  std::size_t got = 0;
+  while (got < 64) {
+    const std::size_t k = q.try_pop_n(out.data() + got, 64 - got, h);
+    WCQ_CHECK(k > 0, "boxed pop_n stalled");
+    got += k;
+  }
+  std::vector<bool> seen(64, false);
+  for (const auto& s : out) {
+    WCQ_CHECK(s.rfind("value-", 0) == 0, "boxed payload corrupted: %s",
+              s.c_str());
+    const int i = std::atoi(s.c_str() + 6);
+    WCQ_CHECK(!seen[i], "boxed duplicate %d", i);
+    seen[i] = true;
+  }
+  // Overfill: capacity 256 total; refused boxes must not leak.
+  std::vector<std::string> flood(300, std::string("flood"));
+  const std::size_t ok = q.try_push_n(flood.data(), flood.size(), h);
+  WCQ_CHECK(ok == 256, "boxed overfill accepted %zu", ok);
+  // Leave the queue non-empty: the destructor must drop live boxes.
+  std::printf("  ok sharded_boxed     batch over slot_codec boxes\n");
+}
+
+// FAA reserves its top two slot patterns as EMPTY/TAKEN sentinels; an
+// inline value colliding with them must be refused — mid-batch — with
+// everything before it accepted and nothing after it lost.
+void test_batch_sentinel_refusal() {
+  sharded<std::uint64_t, FaaQueue> q(options{}.shards(2).batch_limit(8));
+  auto h = q.get_handle();
+  std::uint64_t vs[5] = {1, 2, ~std::uint64_t{0}, 4, 5};
+  WCQ_CHECK(q.try_push_n(vs, 5, h) == 2,
+            "sentinel must stop the batch after the accepted prefix");
+  std::uint64_t out[5] = {};
+  WCQ_CHECK(q.try_pop_n(out, 5, h) == 2 && out[0] == 1 && out[1] == 2,
+            "prefix before sentinel lost");
+  // Single-op refusal for comparison (same contract as queue<T,Faa>).
+  WCQ_CHECK(!q.try_push(~std::uint64_t{0}, h), "sentinel push accepted");
+  std::printf("  ok sharded_sentinel  FAA reserved-pattern refusal\n");
+}
+
+// Constructor validation: refuse, never clamp.
+void test_validation_throws() {
+  auto throws = [](auto make) {
+    try {
+      make();
+    } catch (const std::invalid_argument&) {
+      return true;
+    }
+    return false;
+  };
+  WCQ_CHECK(throws([] { sharded<std::uint64_t> q(options{}.shards(3)); }),
+            "non-power-of-two shards must throw");
+  WCQ_CHECK(throws([] { sharded<std::uint64_t> q(options{}.shards(512)); }),
+            "shards > 256 must throw");
+  WCQ_CHECK(
+      throws([] { sharded<std::uint64_t> q(options{}.shards(8).order(3)); }),
+      "order <= log2(shards) must throw");
+  WCQ_CHECK(
+      throws([] {
+        sharded<std::uint64_t> q(options{}.shards(2).batch_limit(0));
+      }),
+      "batch_limit 0 must throw");
+  // The boundary cases that must NOT throw.
+  sharded<std::uint64_t> ok1(options{}.shards(1).order(1));
+  sharded<std::uint64_t> ok2(options{}.shards(4).order(3));
+  std::printf("  ok sharded_validate  invalid_argument on bad knobs\n");
+}
+
+// Handle churn: sharded handles hold one sub-handle per shard; waves
+// of threads far past max_threads must recycle whole rows, and
+// exhaustion must be a reportable error, not an abort.
+void test_handle_churn() {
+  constexpr unsigned kMaxThreads = 4;
+  sharded<std::uint64_t> q(
+      options{}.order(8).shards(4).max_threads(kMaxThreads));
+  for (unsigned wave = 0; wave < 8; ++wave) {
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto h = q.get_handle();
+        for (std::uint64_t i = 0; i < 200; ++i) {
+          while (!q.try_push(t * 1000 + i, h)) std::this_thread::yield();
+          while (!q.try_pop(h)) std::this_thread::yield();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  // Exhaustion at the boundary: kMaxThreads rows live -> next is an
+  // error; releasing one row frees a slot in every shard.
+  {
+    std::vector<decltype(q.get_handle())> held;
+    for (unsigned i = 0; i < kMaxThreads; ++i) held.push_back(q.get_handle());
+    WCQ_CHECK(!q.try_get_handle().has_value(),
+              "exhaustion must be nullopt, not abort");
+    bool threw = false;
+    try {
+      (void)q.get_handle();
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    WCQ_CHECK(threw, "get_handle must throw on exhaustion");
+    held.pop_back();
+    WCQ_CHECK(q.try_get_handle().has_value(),
+              "released row must free a slot in every shard");
+  }
+  std::printf("  ok sharded_churn     %u waves over max_threads=%u\n", 8u,
+              kMaxThreads);
+}
+
+// Topology helper sanity: it must never lie about structure (every
+// online cpu in exactly one cluster) and its recommendations must be
+// usable sharded configs on any machine.
+void test_topology_helper() {
+  const auto& t = topo::cpu_topology();
+  WCQ_CHECK(t.cpus >= 1, "topology lost the cpus");
+  WCQ_CHECK(!t.clusters.empty(), "topology must report >= 1 cluster");
+  unsigned covered = 0;
+  for (const auto& c : t.clusters) {
+    WCQ_CHECK(!c.empty(), "empty cluster");
+    covered += static_cast<unsigned>(c.size());
+  }
+  WCQ_CHECK(covered == t.cpus, "clusters cover %u of %u cpus", covered,
+            t.cpus);
+  const unsigned rec = topo::recommended_shards();
+  WCQ_CHECK(rec >= 1 && (rec & (rec - 1)) == 0,
+            "recommended_shards %u not a power of two", rec);
+  // The recommendation must construct (order 16 default leaves room).
+  sharded<std::uint64_t> q(options{}.shards(rec));
+  WCQ_CHECK(q.shard_count() == rec, "shard_count mismatch");
+  (void)topo::shard_cpu(0, 0);  // must not crash on any machine
+  std::printf("  ok sharded_topology  %u cpus / %zu clusters -> %u shards\n",
+              t.cpus, t.clusters.size(), rec);
+}
+
+}  // namespace
+
+int main() {
+  test_mpmc_all_policies();
+  test_per_shard_fifo_sticky();
+  test_sticky_rebalance();
+  test_sequenced_global_fifo();
+  test_batch_edges();
+  test_batch_boxed();
+  test_batch_sentinel_refusal();
+  test_validation_throws();
+  test_handle_churn();
+  test_topology_helper();
+  return 0;
+}
