@@ -161,6 +161,8 @@ void run_all_queues(harness::SeriesTable& table, MakeWorkload make,
                                   threads, total_ops, runs);
   run_series<harness::YmcAdapter>(table, make.template operator()<harness::YmcAdapter>(),
                                   threads, total_ops, runs);
+  run_series<harness::NcqAdapter>(table, make.template operator()<harness::NcqAdapter>(),
+                                  threads, total_ops, runs);
   run_series<harness::CcqAdapter>(table, make.template operator()<harness::CcqAdapter>(),
                                   threads, total_ops, runs);
   run_series<harness::ScqAdapter>(table, make.template operator()<harness::ScqAdapter>(),
@@ -171,6 +173,8 @@ void run_all_queues(harness::SeriesTable& table, MakeWorkload make,
   run_series<harness::MsqAdapter>(table, make.template operator()<harness::MsqAdapter>(),
                                   threads, total_ops, runs);
   run_series<harness::LcrqAdapter>(table, make.template operator()<harness::LcrqAdapter>(),
+                                   threads, total_ops, runs);
+  run_series<harness::LscqAdapter>(table, make.template operator()<harness::LscqAdapter>(),
                                    threads, total_ops, runs);
 }
 
@@ -188,6 +192,9 @@ void run_all_queues_latency(harness::MetricsTable& table, MakeWorkload make,
   run_series_latency<harness::YmcAdapter>(
       table, make.template operator()<harness::YmcAdapter>(), threads,
       total_ops, runs);
+  run_series_latency<harness::NcqAdapter>(
+      table, make.template operator()<harness::NcqAdapter>(), threads,
+      total_ops, runs);
   run_series_latency<harness::CcqAdapter>(
       table, make.template operator()<harness::CcqAdapter>(), threads,
       total_ops, runs);
@@ -202,6 +209,9 @@ void run_all_queues_latency(harness::MetricsTable& table, MakeWorkload make,
       total_ops, runs);
   run_series_latency<harness::LcrqAdapter>(
       table, make.template operator()<harness::LcrqAdapter>(), threads,
+      total_ops, runs);
+  run_series_latency<harness::LscqAdapter>(
+      table, make.template operator()<harness::LscqAdapter>(), threads,
       total_ops, runs);
 }
 

@@ -86,6 +86,8 @@ int main(int argc, char** argv) {
                                      ops, runs);
   memory_series<harness::YmcAdapter>(mem_table, rss_table, tput_table, sweep,
                                      ops, runs);
+  memory_series<harness::NcqAdapter>(mem_table, rss_table, tput_table, sweep,
+                                     ops, runs);
   memory_series<harness::CcqAdapter>(mem_table, rss_table, tput_table, sweep,
                                      ops, runs);
   memory_series<harness::ScqAdapter>(mem_table, rss_table, tput_table, sweep,
@@ -95,6 +97,8 @@ int main(int argc, char** argv) {
   memory_series<harness::MsqAdapter>(mem_table, rss_table, tput_table, sweep,
                                      ops, runs);
   memory_series<harness::LcrqAdapter>(mem_table, rss_table, tput_table, sweep,
+                                      ops, runs);
+  memory_series<harness::LscqAdapter>(mem_table, rss_table, tput_table, sweep,
                                       ops, runs);
 
   emit(mem_table, argc, argv);

@@ -1,0 +1,62 @@
+// Empty-detection policy — the layer that separates SCQ-family rings
+// from the naive circular queue.
+//
+// SCQ's contribution (DISC 2019, §2) is ScqThreshold: dequeuers spend
+// a shared budget of 3n−1 failed positions; once it is gone, "empty"
+// is definitive in O(1) and nobody scans a dead ring. NCQ predates the
+// idea: its only exit is comparing Head against Tail, which a storm of
+// CAS-retrying peers can starve — the livelock the paper's strawman
+// exists to demonstrate. NoThreshold encodes that absence so NcqRing
+// composes the same layer stack with the policy slot deliberately
+// empty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "wcq/ring_math.hpp"
+
+namespace wcq::ring {
+
+/// The SCQ threshold: armed to ring_size + n − 1 (= 3n−1) by every
+/// successful enqueue, spent by every dequeue ticket that yields no
+/// value. Spent-below-zero is a definitive "queue empty" certificate:
+/// at most 3n−1 fruitless positions can exist while a value is live.
+class ScqThreshold {
+ public:
+  explicit ScqThreshold(const Geometry& g)
+      : init_(static_cast<std::int64_t>(g.ring_size() + g.capacity() - 1)) {}
+
+  /// Definitive-empty check: the budget ran out.
+  bool spent() const { return v_.load(std::memory_order_seq_cst) < 0; }
+
+  /// Re-arm after a successful enqueue (a value is live again). The
+  /// load-then-store shape keeps the hot path read-only when the
+  /// threshold is already armed.
+  void arm() {
+    if (v_.load(std::memory_order_seq_cst) != init_) {
+      v_.store(init_, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Account one fruitless dequeue position; true when the budget is
+  /// now gone (caller returns definitive empty).
+  bool spend() { return v_.fetch_sub(1, std::memory_order_seq_cst) <= 0; }
+
+ private:
+  const std::int64_t init_;
+  // Starts spent: a fresh ring is empty until the first enqueue arms it.
+  std::atomic<std::int64_t> v_{-1};
+};
+
+/// NCQ's policy slot: no budget, no definitive empty. Dequeuers fall
+/// back to the Head-vs-Tail comparison, which is exactly the
+/// livelock-prone detection the SCQ paper's strawman demonstrates.
+struct NoThreshold {
+  constexpr explicit NoThreshold(const Geometry&) {}
+  static constexpr bool spent() { return false; }
+  static constexpr void arm() {}
+  static constexpr bool spend() { return false; }
+};
+
+}  // namespace wcq::ring

@@ -1,20 +1,38 @@
-// The SCQ ring (Nikolaev, DISC 2019) that wCQ extends: a bounded FIFO
-// of small indices. A ring of 2n entries backs a queue of capacity n;
-// Head/Tail are FAA'd position counters whose quotient by the ring
-// size is the entry's expected "cycle". The `threshold` counter gives
-// dequeuers a constant-time empty exit, and Cache_Remap spreads
-// consecutive positions across cache lines.
+// The ring kernel: SCQ's bounded FIFO of small indices (Nikolaev,
+// DISC 2019) as a composition of the layer headers —
 //
-// Two instantiations share the state machine:
+//   ring_math.hpp     Geometry (cycle/index packing) + Remap
+//                     (Cache_Remap / identity position permutation)
+//   ring_entry.hpp    entry codecs (plain word vs {word, note} pair)
+//   ring_policy.hpp   empty detection (ScqThreshold vs NoThreshold)
+//   ring_noted.hpp    the wCQ helping/note layer — out-of-line
+//                     definitions of the members declared here under
+//                     requires(Noted); only wcq.hpp includes it
 //
-//   ScqRingT<false> ("ScqRing")  64-bit entries, lock-free — plain SCQ.
-//   ScqRingT<true>  ("WcqRing")  128-bit {word, note} entries mutated
-//       by CAS2 — the wCQ ring (SPAA 2022, Figures 4-7). The second
-//       word parks *notes*: revocable claims and committed results of
-//       the cooperative slow path, so that any number of helpers can
-//       advance one stalled operation and the commit still happens
-//       exactly once (the CAS2 that flips a claim note to its phase-B
-//       form is the only way the entry word changes while claimed).
+// A ring of 2n entries backs a queue of capacity n; Head/Tail are
+// FAA'd position counters whose quotient by the ring size is the
+// entry's expected "cycle". The `threshold` counter gives dequeuers a
+// constant-time empty exit, and Cache_Remap spreads consecutive
+// positions across cache lines.
+//
+// Instantiations sharing the state machine:
+//
+//   ScqRingT<false>        ("ScqRing")  64-bit entries, lock-free —
+//       plain SCQ, and the building block of ScqQueue's aq/fq pair.
+//   ScqRingT<true>         ("WcqRing")  128-bit {word, note} entries
+//       mutated by CAS2 — the wCQ ring (SPAA 2022, Figures 4-7). The
+//       second word parks *notes*: revocable claims and committed
+//       results of the cooperative slow path, so that any number of
+//       helpers can advance one stalled operation and the commit still
+//       happens exactly once (the CAS2 that flips a claim note to its
+//       phase-B form is the only way the entry word changes while
+//       claimed).
+//   ScqRingT<false, true>  ("FinalScqRing")  plain SCQ plus a closed
+//       bit in Tail: once close() is called no new enqueue ticket is
+//       issued, and drain_idx() sweeps the surviving tickets so an
+//       LSCQ segment can be proven sterile before it is retired to
+//       SMR. For non-finalizable instantiations every closed-bit
+//       branch folds away and the generated code is the plain ring's.
 //
 // Word layout (64 bits):   [ cycle | is_safe (1 bit) | index ]
 // where index occupies order+1 bits and all-ones means "empty" (BOT).
@@ -44,6 +62,9 @@
 
 #include "wcq/detail.hpp"
 #include "wcq/mem.hpp"
+#include "wcq/ring_entry.hpp"
+#include "wcq/ring_math.hpp"
+#include "wcq/ring_policy.hpp"
 
 namespace wcq {
 
@@ -58,13 +79,18 @@ struct alignas(detail::kNoFalseSharing) RingRequest {
                                          // the global Head ticket stream
 };
 
-template <bool Noted>
+template <bool Noted, bool Finalizable = false>
 class ScqRingT {
+  // The noted ring is the queue-level wCQ ring; segment finalization
+  // belongs to plain rings inside LSCQ. Nothing needs both.
+  static_assert(!(Noted && Finalizable));
+
  public:
   enum Result : int {
     kOk = 0,
     kEmpty = 1,      // definitive: queue observed empty (threshold spent)
     kContended = 2,  // patience exhausted; retry or go to a slow path
+    kClosed = 3,     // Finalizable only: ring closed, no ticket issued
   };
 
   static constexpr std::uint64_t kUnbounded = ~std::uint64_t{0};
@@ -80,54 +106,66 @@ class ScqRingT {
   // helpers never step a request against the wrong ring.
   ScqRingT(unsigned order, bool remap, bool portable_consume,
            RingRequest* reqs = nullptr, bool is_fq = false)
-      : order_(order),
-        n_(std::uint64_t{1} << order),
-        ring_size_(n_ * 2),
-        idx_bits_(order + 1),
-        idx_mask_((std::uint64_t{1} << (order + 1)) - 1),
-        threshold_init_(static_cast<std::int64_t>(ring_size_ + n_ - 1)),
-        remap_(remap && order + 1 > kLineBits),
+      : geo_(order),
+        remap_(remap ? ring::Remap::cache(geo_, kLineBits)
+                     : ring::Remap::identity(geo_)),
         portable_consume_(portable_consume),
         reqs_(reqs),
-        is_fq_(is_fq) {
-    entries_ = static_cast<Entry*>(mem::alloc(ring_size_ * sizeof(Entry)));
-    for (std::uint64_t j = 0; j < ring_size_; ++j) {
-      entries_[j].word.store(pack(0, true, kBot()), std::memory_order_relaxed);
+        is_fq_(is_fq),
+        threshold_(geo_) {
+    entries_ = static_cast<Entry*>(
+        mem::alloc(geo_.ring_size() * sizeof(Entry)));
+    for (std::uint64_t j = 0; j < geo_.ring_size(); ++j) {
+      entries_[j].word.store(geo_.pack(0, true, geo_.bot()),
+                             std::memory_order_relaxed);
       if constexpr (Noted) {
         entries_[j].note.store(0, std::memory_order_relaxed);
       }
     }
     // Start positions at ring_size so live cycles begin at 1 and are
     // always distinguishable from the zero-initialised entries.
-    head_.store(ring_size_, std::memory_order_relaxed);
-    tail_.store(ring_size_, std::memory_order_relaxed);
-    threshold_.store(-1, std::memory_order_relaxed);
+    head_.store(geo_.ring_size(), std::memory_order_relaxed);
+    tail_.store(geo_.ring_size(), std::memory_order_relaxed);
   }
 
-  ~ScqRingT() { mem::free(entries_, ring_size_ * sizeof(Entry)); }
+  ~ScqRingT() { mem::free(entries_, geo_.ring_size() * sizeof(Entry)); }
 
   ScqRingT(const ScqRingT&) = delete;
   ScqRingT& operator=(const ScqRingT&) = delete;
 
-  std::uint64_t capacity() const { return n_; }
+  std::uint64_t capacity() const { return geo_.capacity(); }
 
   std::uint64_t head() const { return head_.load(std::memory_order_seq_cst); }
-  std::uint64_t tail() const { return tail_.load(std::memory_order_seq_cst); }
+  std::uint64_t tail() const {
+    return tail_pos(tail_.load(std::memory_order_seq_cst));
+  }
 
   // Enqueue an index in [0, capacity). As long as at most `capacity`
   // indices are live the ring always has room, so the only non-kOk
-  // outcome is kContended when `max_iters` attempts are spent.
+  // outcome is kContended when `max_iters` attempts are spent (or
+  // kClosed once a finalizable ring is closed).
   Result enqueue_idx(std::uint64_t eidx, std::uint64_t max_iters) {
     for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+      if constexpr (Finalizable) {
+        // Cheap pre-check; the FAA below is the authoritative one.
+        if (tail_.load(std::memory_order_seq_cst) & kClosedBit) {
+          return kClosed;
+        }
+      }
       const std::uint64_t t = tail_.fetch_add(1, std::memory_order_seq_cst);
-      const std::uint64_t tcycle = cycle_of(t);
-      const std::uint64_t j = remap(t);
+      if constexpr (Finalizable) {
+        if (t & kClosedBit) return kClosed;
+      }
+      const std::uint64_t tcycle = geo_.cycle_of_pos(t);
+      const std::uint64_t j = remap_.map(t);
       for (;;) {
         const std::uint64_t e =
             entries_[j].word.load(std::memory_order_acquire);
-        if (cycle_of_entry(e) < tcycle && idx_of_entry(e) == kBot() &&
-            (is_safe(e) || head_.load(std::memory_order_seq_cst) <= t)) {
-          if (!word_cas(j, e, pack(tcycle, true, eidx))) {
+        if (geo_.cycle_of_entry(e) < tcycle &&
+            geo_.idx_of_entry(e) == geo_.bot() &&
+            (geo_.is_safe(e) ||
+             head_.load(std::memory_order_seq_cst) <= t)) {
+          if (!word_cas(j, e, geo_.pack(tcycle, true, eidx))) {
             if constexpr (Noted) {
               // A parked note freezes the word; resolve it, then retry.
               const std::uint64_t n =
@@ -136,7 +174,7 @@ class ScqRingT {
             }
             continue;  // entry changed under us; re-evaluate
           }
-          reset_threshold();
+          threshold_.arm();
           return kOk;
         }
         break;  // position unusable, take the next one
@@ -148,20 +186,20 @@ class ScqRingT {
   // Dequeue an index. kEmpty is definitive (threshold exhausted or
   // tail caught up); kContended means patience ran out first.
   Result dequeue_idx(std::uint64_t* out, std::uint64_t max_iters) {
-    if (threshold_.load(std::memory_order_seq_cst) < 0) {
+    if (threshold_.spent()) {
       return kEmpty;  // the paper's fast empty exit (Figure 11a)
     }
     for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
       const std::uint64_t h = head_.fetch_add(1, std::memory_order_seq_cst);
-      const std::uint64_t hcycle = cycle_of(h);
-      const std::uint64_t j = remap(h);
+      const std::uint64_t hcycle = geo_.cycle_of_pos(h);
+      const std::uint64_t j = remap_.map(h);
       bool advanced = false;
       bool consumed_by_peer = false;
       for (;;) {
         const std::uint64_t e =
             entries_[j].word.load(std::memory_order_acquire);
-        const std::uint64_t ecycle = cycle_of_entry(e);
-        if (ecycle == hcycle && idx_of_entry(e) != kBot()) {
+        const std::uint64_t ecycle = geo_.cycle_of_entry(e);
+        if (ecycle == hcycle && geo_.idx_of_entry(e) != geo_.bot()) {
           if (!consume(j, e)) {
             if constexpr (Noted) {
               // Claimed by a slow-path request sharing this position:
@@ -173,16 +211,16 @@ class ScqRingT {
             }
             continue;
           }
-          *out = idx_of_entry(e);
+          *out = geo_.idx_of_entry(e);
           return kOk;
         }
         if (ecycle < hcycle) {
           // Either advance an empty entry's cycle or mark a lagging
           // value unsafe so a slow enqueuer cannot resurrect it.
           const std::uint64_t fresh =
-              idx_of_entry(e) == kBot()
-                  ? pack(hcycle, is_safe(e), kBot())
-                  : pack(ecycle, false, idx_of_entry(e));
+              geo_.idx_of_entry(e) == geo_.bot()
+                  ? geo_.pack(hcycle, geo_.is_safe(e), geo_.bot())
+                  : geo_.pack(ecycle, false, geo_.idx_of_entry(e));
           if (!word_cas(j, e, fresh)) {
             if constexpr (Noted) {
               const std::uint64_t n =
@@ -199,21 +237,21 @@ class ScqRingT {
         // *did* yield a value and must not be accounted as failed —
         // in SCQ a value-yielding ticket never decrements threshold.
         if constexpr (Noted) {
-          consumed_by_peer =
-              ecycle == hcycle && idx_of_entry(e) == kBot() && !is_safe(e);
+          consumed_by_peer = ecycle == hcycle &&
+                             geo_.idx_of_entry(e) == geo_.bot() &&
+                             !geo_.is_safe(e);
         }
         advanced = true;
         break;
       }
       if (advanced) {
         const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
-        if (t <= h + 1) {
+        if (tail_pos(t) <= h + 1) {
           catchup(t, h + 1);
-          threshold_.fetch_sub(1, std::memory_order_seq_cst);
+          threshold_.spend();
           return kEmpty;
         }
-        if (!consumed_by_peer &&
-            threshold_.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        if (!consumed_by_peer && threshold_.spend()) {
           return kEmpty;
         }
       }
@@ -221,94 +259,91 @@ class ScqRingT {
     return kContended;
   }
 
-  // ---- cooperative slow path (Noted only) ---------------------------
+  // ---- segment finalization (Finalizable only) ----------------------
 
-  // Drive `r`'s published operation until its state leaves
-  // {Pending, Phase2}. The owner and any number of helpers run this
-  // concurrently; every step is a CAS on shared state, so all of them
-  // make progress on the *same* request — nobody claims it exclusively.
-  void help_slow(RingRequest* r)
-    requires(Noted)
+  // Close the ring: every enqueue ticket issued from now on aborts
+  // with kClosed before touching an entry. Idempotent.
+  void close()
+    requires(Finalizable)
+  {
+    tail_.fetch_or(kClosedBit, std::memory_order_seq_cst);
+  }
+
+  bool closed() const
+    requires(Finalizable)
+  {
+    return (tail_.load(std::memory_order_seq_cst) & kClosedBit) != 0;
+  }
+
+  // Post-close sweep. Burns head tickets past every position a
+  // pre-close enqueue ticket could still install at, bypassing the
+  // threshold (which may be spent while such installs are in flight).
+  // kOk hands out a surviving value; kEmpty is a *sterility*
+  // certificate: head has met tail, every pre-close ticket's position
+  // was consumed or poisoned, and no install can land here anymore —
+  // the ring may be retired. Callers loop on kOk.
+  Result drain_idx(std::uint64_t* out)
+    requires(Finalizable)
   {
     for (;;) {
-      const std::uint64_t c = r->ctl.load(std::memory_order_acquire);
-      const std::uint64_t st = detail::ctl_state(c);
-      if (st != detail::kReqPending && st != detail::kReqPhase2) {
-        return;  // done (or already reused)
-      }
-      if (detail::ctl_fq(c) != is_fq_) return;  // request moved rings
-      if (st == detail::kReqPhase2) {
-        // Commit slot decided: converge on j until the note retires.
-        const std::uint64_t j = detail::ctl_j(c);
-        const std::uint64_t n =
-            entries_[j].note.load(std::memory_order_acquire);
-        if (n != 0) {
-          help_note(j, n);
-        } else {
-          detail::cpu_pause();  // read skew; the ctl re-load resolves it
+      const std::uint64_t h = head_.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint64_t hcycle = geo_.cycle_of_pos(h);
+      const std::uint64_t j = remap_.map(h);
+      for (;;) {
+        const std::uint64_t e =
+            entries_[j].word.load(std::memory_order_acquire);
+        const std::uint64_t ecycle = geo_.cycle_of_entry(e);
+        if (ecycle == hcycle && geo_.idx_of_entry(e) != geo_.bot()) {
+          if (!consume(j, e)) continue;
+          *out = geo_.idx_of_entry(e);
+          return kOk;
         }
-        continue;
+        if (ecycle < hcycle) {
+          // Advance-or-poison, exactly as a dequeuer would: once the
+          // cycle moves past a pre-close ticket's target (or the safe
+          // bit drops), its install CAS can no longer succeed.
+          const std::uint64_t fresh =
+              geo_.idx_of_entry(e) == geo_.bot()
+                  ? geo_.pack(hcycle, geo_.is_safe(e), geo_.bot())
+                  : geo_.pack(ecycle, false, geo_.idx_of_entry(e));
+          if (!word_cas(j, e, fresh)) continue;
+        }
+        break;
       }
-      if (detail::ctl_deq(c)) {
-        step_dequeue(r, c);
-      } else {
-        step_enqueue(r, c);
+      const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+      if (tail_pos(t) <= h + 1) {
+        catchup(t, h + 1);
+        return kEmpty;
       }
     }
   }
 
+  // ---- cooperative slow path (Noted only) ---------------------------
+  // Defined out-of-line in ring_noted.hpp (included by wcq.hpp): drive
+  // `r`'s published operation until its state leaves {Pending, Phase2}.
+  // The owner and any number of helpers run this concurrently; every
+  // step is a CAS on shared state, so all of them make progress on the
+  // *same* request — nobody claims it exclusively.
+  void help_slow(RingRequest* r)
+    requires(Noted);
+
  private:
-  struct PlainEntry {
-    std::atomic<std::uint64_t> word;
-  };
-  struct alignas(16) NotedEntry {
-    std::atomic<std::uint64_t> word;
-    std::atomic<std::uint64_t> note;
-  };
-  using Entry = std::conditional_t<Noted, NotedEntry, PlainEntry>;
-  // pair_cas reinterprets a NotedEntry as detail::Pair (see the
-  // aliasing contract above Pair); these pin the layout it relies on.
-  static_assert(!Noted || sizeof(NotedEntry) == sizeof(detail::Pair));
-  static_assert(offsetof(NotedEntry, word) == offsetof(detail::Pair, word) &&
-                offsetof(NotedEntry, note) == offsetof(detail::Pair, note));
+  using Entry = std::conditional_t<Noted, ring::NotedEntry, ring::PlainEntry>;
 
   static constexpr unsigned kLineBits =
       detail::log2_pow2(detail::kCacheLine / sizeof(Entry));
 
-  std::uint64_t kBot() const { return idx_mask_; }
+  // Bit 63 of tail_ is the Finalizable closed flag; positions are the
+  // low 63 bits. Non-finalizable rings never set it, and tail_pos is
+  // the identity for them.
+  static constexpr std::uint64_t kClosedBit = std::uint64_t{1} << 63;
 
-  std::uint64_t pack(std::uint64_t cycle, bool safe, std::uint64_t idx) const {
-    return (cycle << (idx_bits_ + 1)) |
-           (static_cast<std::uint64_t>(safe) << idx_bits_) | idx;
-  }
-  std::uint64_t cycle_of(std::uint64_t pos) const {
-    return pos >> (order_ + 1);
-  }
-  std::uint64_t cycle_of_entry(std::uint64_t e) const {
-    return e >> (idx_bits_ + 1);
-  }
-  bool is_safe(std::uint64_t e) const {
-    return ((e >> idx_bits_) & 1u) != 0;
-  }
-  std::uint64_t idx_of_entry(std::uint64_t e) const { return e & idx_mask_; }
-
-  // Cache_Remap: permute positions so consecutive Head/Tail positions
-  // land on distinct cache lines.
-  std::uint64_t remap(std::uint64_t pos) const {
-    const std::uint64_t masked = pos & (ring_size_ - 1);
-    if (!remap_) return masked;
-    const unsigned order2 = order_ + 1;  // log2(ring_size_)
-    return ((masked >> (order2 - kLineBits)) | (masked << kLineBits)) &
-           (ring_size_ - 1);
-  }
-
-  // Inverse permutation: the slow path reconstructs a position from
-  // (cycle, slot) when bumping Head/Tail past a committed operation.
-  std::uint64_t unremap(std::uint64_t j) const {
-    if (!remap_) return j;
-    const unsigned order2 = order_ + 1;
-    return ((j << (order2 - kLineBits)) | (j >> kLineBits)) &
-           (ring_size_ - 1);
+  static constexpr std::uint64_t tail_pos(std::uint64_t t) {
+    if constexpr (Finalizable) {
+      return t & ~kClosedBit;
+    } else {
+      return t;
+    }
   }
 
   // Word-only CAS. In the noted ring every plain word mutation expects
@@ -327,9 +362,7 @@ class ScqRingT {
   bool pair_cas(std::uint64_t j, detail::Pair expected, detail::Pair desired)
     requires(Noted)
   {
-    detail::Pair* addr = reinterpret_cast<detail::Pair*>(&entries_[j]);
-    return portable_consume_ ? detail::cas2_portable(addr, &expected, desired)
-                             : detail::cas2(addr, &expected, desired);
+    return ring::pair_cas(&entries_[j], expected, desired, portable_consume_);
   }
 
   // Mark the entry consumed (index -> BOT) keeping cycle and safe bit.
@@ -337,33 +370,30 @@ class ScqRingT {
   // note is parked on it) — the caller re-evaluates.
   bool consume(std::uint64_t j, std::uint64_t seen) {
     if constexpr (Noted) {
-      return word_cas(j, seen, seen | kBot());
+      return word_cas(j, seen, seen | geo_.bot());
     } else if (!portable_consume_) {
-      entries_[j].word.fetch_or(kBot(), std::memory_order_acq_rel);
+      entries_[j].word.fetch_or(geo_.bot(), std::memory_order_acq_rel);
       return true;
     } else {
       // Portable build: single-width CAS loop (LL/SC-emulation shape).
       std::uint64_t e = seen;
       while (!entries_[j].word.compare_exchange_weak(
-          e, e | kBot(), std::memory_order_acq_rel,
+          e, e | geo_.bot(), std::memory_order_acq_rel,
           std::memory_order_acquire)) {
       }
       return true;
     }
   }
 
-  void reset_threshold() {
-    if (threshold_.load(std::memory_order_seq_cst) != threshold_init_) {
-      threshold_.store(threshold_init_, std::memory_order_seq_cst);
-    }
-  }
-
   void catchup(std::uint64_t t, std::uint64_t h) {
-    while (!tail_.compare_exchange_weak(t, h, std::memory_order_seq_cst,
-                                        std::memory_order_seq_cst)) {
+    // The CAS keeps the closed bit exactly as read; only the position
+    // half of tail_ moves.
+    while (!tail_.compare_exchange_weak(
+        t, Finalizable ? (h | (t & kClosedBit)) : h,
+        std::memory_order_seq_cst, std::memory_order_seq_cst)) {
       h = head_.load(std::memory_order_seq_cst);
       t = tail_.load(std::memory_order_seq_cst);
-      if (t >= h) break;
+      if (tail_pos(t) >= h) break;
     }
   }
 
@@ -378,279 +408,45 @@ class ScqRingT {
   }
 
   // ---- note resolution (Noted only) ---------------------------------
+  // Declared here, defined out-of-line in ring_noted.hpp — the helping
+  // layer only the wCQ instantiation pulls in.
 
   std::uint64_t slot_of(const RingRequest* r) const {
     return static_cast<std::uint64_t>(r - reqs_);
   }
 
-  // Resolve whatever note is parked at slot j: advance the owning
-  // request one step (commit decision, commit, result delivery) or
-  // clear the note if its request is over. Callers loop; every call
-  // makes global progress or observes someone else's.
   void help_note(std::uint64_t j, std::uint64_t n)
-    requires(Noted)
-  {
-    RingRequest* r = &reqs_[detail::note_slot(n)];
-    const std::uint64_t c = r->ctl.load(std::memory_order_acquire);
-    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
-    if (!detail::note_matches_ctl(n, c)) {
-      // Stale note of a finished request. Phase-A never changed the
-      // word, and a phase-B note's result was delivered before its
-      // owner could retire the request, so clearing is always safe.
-      pair_cas(j, {w, n}, {w, 0});
-      return;
-    }
-    const std::uint64_t st = detail::ctl_state(c);
-    if (st == detail::kReqPending) {
-      // A claim exists but no commit slot is decided: propose this one.
-      // Exactly one Pending->Phase2 transition per seq ever succeeds.
-      if (!detail::note_phase_b(n)) {
-        std::uint64_t expc = c;
-        r->ctl.compare_exchange_strong(
-            expc, detail::ctl_with(c, j, detail::kReqPhase2),
-            std::memory_order_acq_rel, std::memory_order_acquire);
-      }
-      return;
-    }
-    if (st == detail::kReqPhase2) {
-      if (detail::ctl_j(c) != j) {
-        // A claim that lost the commit decision: revoke it.
-        if (!detail::note_phase_b(n)) pair_cas(j, {w, n}, {w, 0});
-        return;
-      }
-      if (!detail::note_phase_b(n)) {
-        commit(r, j, n, w);
-      } else {
-        finalize(r, c, j, n);
-      }
-      return;
-    }
-    // Terminal state (DoneOk / DoneEmpty): phase-B notes are retired,
-    // phase-A claims revoked — both are "clear the note, keep the word".
-    pair_cas(j, {w, n}, {w, 0});
-  }
-
-  // Apply the committed operation at slot j: one CAS2 flips the
-  // phase-A claim to phase-B and performs the word change. Exactly one
-  // such CAS2 can succeed; racing helpers fail benignly and re-read.
+    requires(Noted);
   void commit(RingRequest* r, std::uint64_t j, std::uint64_t n,
               std::uint64_t w)
-    requires(Noted)
-  {
-    const std::uint64_t slot = detail::note_slot(n);
-    const std::uint64_t seq = detail::note_seq(n);
-    if (detail::note_deq(n)) {
-      // Consume: the index rides into the phase-B note so the result
-      // survives even if this helper stalls right after the CAS2. The
-      // safe bit is cleared so the word is distinguishable from an
-      // empty close at the same cycle: the fast dequeuer whose head
-      // ticket maps here must see that its position yielded a value
-      // (to the request) and skip the threshold decrement.
-      const std::uint64_t x = detail::note_aux(n);
-      const std::uint64_t consumed = pack(cycle_of_entry(w), false, kBot());
-      if (pair_cas(j, {w, n},
-                   {consumed, detail::pack_note(true, true, slot, seq, x)})) {
-        bump(head_, (cycle_of_entry(w) << (order_ + 1)) + unremap(j) + 1);
-      }
-      return;
-    }
-    // Install: reconstruct the claim's target cycle from its low bits
-    // (the claim guaranteed the gap to the frozen word's cycle fits).
-    const std::uint64_t low = detail::note_aux(n);
-    const std::uint64_t wc = cycle_of_entry(w);
-    std::uint64_t tcycle = (wc & ~detail::kNoteAuxMask) | low;
-    if (tcycle <= wc) tcycle += detail::kNoteAuxMask + 1;
-    const std::uint64_t eidx = r->arg.load(std::memory_order_acquire);
-    if (pair_cas(j, {w, n},
-                 {pack(tcycle, true, eidx),
-                  detail::pack_note(true, false, slot, seq, eidx)})) {
-      reset_threshold();
-      bump(tail_, (tcycle << (order_ + 1)) + unremap(j) + 1);
-    }
-  }
-
-  // Deliver the result and finalize the ctl, then retire the phase-B
-  // note. Every step is idempotent-by-CAS; any helper may run it. The
-  // result CAS is seq-tagged so a finalizer that stalled here for a
-  // whole operation lifetime cannot clobber a successor's result.
+    requires(Noted);
   void finalize(RingRequest* r, std::uint64_t c, std::uint64_t j,
                 std::uint64_t n)
-    requires(Noted)
-  {
-    const std::uint64_t seq = detail::ctl_seq(c);
-    if (detail::ctl_deq(c)) {
-      std::uint64_t expr = detail::pack_result(seq, detail::kResultNone);
-      r->result.compare_exchange_strong(
-          expr, detail::pack_result(seq, detail::note_aux(n)),
-          std::memory_order_acq_rel, std::memory_order_acquire);
-    }
-    // Result is in place (by us or a sibling) before the ctl goes
-    // terminal, so the owner can read it with a single load.
-    std::uint64_t expc = c;
-    r->ctl.compare_exchange_strong(expc,
-                                   detail::ctl_with(c, j, detail::kReqDoneOk),
-                                   std::memory_order_acq_rel,
-                                   std::memory_order_acquire);
-    // Ctl is now terminal (by us or a sibling); retire the note. A
-    // failed CAS just leaves the now-stale note for any toucher.
-    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
-    pair_cas(j, {w, n}, {w, 0});
-  }
-
-  // One Pending-state step of a slow dequeue: claim a value, account
-  // an empty position, or finalize empty.
-  //
-  // Threshold accounting rides on the *global* head ticket stream, as
-  // in the paper: a spent scan position decrements threshold only via
-  // a successful CAS of head_ from p to p+1, which takes ticket p for
-  // this request exactly the way a fast dequeuer's FAA would. FAA and
-  // CAS serialize on head_, so every ticket has one owner and hence at
-  // most one decrement — no matter how many slow requests scan the
-  // same positions concurrently (their head CASes for a shared p all
-  // lose but one) and no matter how many fast dequeuers interleave
-  // (a ticket the FAA stream took makes our CAS fail, and its holder
-  // is the accountant). A stalled helper never blocks accounting: the
-  // head CAS is attempted by every helper at p before the pos advance,
-  // and the one success is itself the idempotence token.
+    requires(Noted);
   void step_dequeue(RingRequest* r, std::uint64_t c)
-    requires(Noted)
-  {
-    if (threshold_.load(std::memory_order_seq_cst) < 0) {
-      try_finalize_empty(r, c);
-      return;
-    }
-    const std::uint64_t p = r->pos.load(std::memory_order_acquire);
-    const std::uint64_t pcycle = cycle_of(p);
-    const std::uint64_t j = remap(p);
-    const std::uint64_t n = entries_[j].note.load(std::memory_order_acquire);
-    if (n != 0) {
-      help_note(j, n);  // ours: drives the commit decision; foreign: unblocks
-      return;
-    }
-    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
-    const std::uint64_t ec = cycle_of_entry(w);
-    if (ec == pcycle && idx_of_entry(w) != kBot()) {
-      // Claim the value: word frozen, index recorded in the note.
-      pair_cas(j, {w, 0},
-               {w, detail::pack_note(false, true, slot_of(r),
-                                     detail::ctl_seq(c), idx_of_entry(w))});
-      return;
-    }
-    if (ec > pcycle) {
-      // Our scan position fell behind the ring; jump it forward.
-      advance_pos(r, p, head_.load(std::memory_order_seq_cst));
-      return;
-    }
-    if (ec < pcycle) {
-      const std::uint64_t fresh =
-          idx_of_entry(w) == kBot() ? pack(pcycle, is_safe(w), kBot())
-                                    : pack(ec, false, idx_of_entry(w));
-      if (!word_cas(j, w, fresh)) return;
-      // Spent as empty at pcycle; fall through to account ticket p.
-    }
-    // Position p is spent: closed empty just now, or already at our
-    // cycle with BOT. The cleared safe bit marks a slow-path consume —
-    // that position yielded a value, so even if we end up owning its
-    // ticket (the committer may have stalled before bumping head_) it
-    // must not be accounted as a failed position.
-    const bool consumed_here =
-        ec == pcycle && idx_of_entry(w) == kBot() && !is_safe(w);
-    std::uint64_t hexp = p;
-    if (head_.compare_exchange_strong(hexp, p + 1, std::memory_order_seq_cst,
-                                      std::memory_order_seq_cst) &&
-        !consumed_here) {
-      // Ticket p is ours and yielded nothing: the fast path's rules.
-      const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
-      if (t <= p + 1) {
-        catchup(t, p + 1);
-        threshold_.fetch_sub(1, std::memory_order_seq_cst);
-        try_finalize_empty(r, c);
-      } else if (threshold_.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
-        try_finalize_empty(r, c);
-      }
-    }
-    // Ticket p accounted (by us, a sibling helper, or the fast holder
-    // head_'s FAA stream gave it to); the scan may move on.
-    advance_pos(r, p, p + 1);
-  }
-
-  // One Pending-state step of a slow enqueue: claim an eligible empty
-  // entry or advance the scan. Never finalizes empty — both rings of
-  // the queue construction have guaranteed room for their index.
+    requires(Noted);
   void step_enqueue(RingRequest* r, std::uint64_t c)
-    requires(Noted)
-  {
-    const std::uint64_t p = r->pos.load(std::memory_order_acquire);
-    const std::uint64_t pcycle = cycle_of(p);
-    const std::uint64_t j = remap(p);
-    const std::uint64_t n = entries_[j].note.load(std::memory_order_acquire);
-    if (n != 0) {
-      help_note(j, n);
-      return;
-    }
-    const std::uint64_t w = entries_[j].word.load(std::memory_order_acquire);
-    const std::uint64_t ec = cycle_of_entry(w);
-    if (ec < pcycle && idx_of_entry(w) == kBot() &&
-        (is_safe(w) || head_.load(std::memory_order_seq_cst) <= p)) {
-      if (pcycle - ec > detail::kNoteAuxMask) {
-        // Ancient entry: the claim's aux bits could not reconstruct
-        // the target cycle unambiguously. Normalize first (advancing
-        // an empty entry's cycle is what dequeuers do all the time).
-        word_cas(j, w, pack(pcycle - 1, is_safe(w), kBot()));
-        return;
-      }
-      // Claim: word frozen, target cycle's low bits recorded.
-      pair_cas(j, {w, 0},
-               {w, detail::pack_note(false, false, slot_of(r),
-                                     detail::ctl_seq(c),
-                                     pcycle & detail::kNoteAuxMask)});
-      return;
-    }
-    std::uint64_t next = p + 1;
-    if (ec > pcycle) {
-      // Scan fell behind; jump toward the live tail.
-      const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
-      if (t > next) next = t;
-    }
-    advance_pos(r, p, next);
-  }
-
+    requires(Noted);
   bool advance_pos(RingRequest* r, std::uint64_t p, std::uint64_t target)
-    requires(Noted)
-  {
-    if (target <= p) target = p + 1;
-    return r->pos.compare_exchange_strong(p, target, std::memory_order_acq_rel,
-                                          std::memory_order_acquire);
-  }
-
+    requires(Noted);
   void try_finalize_empty(RingRequest* r, std::uint64_t c)
-    requires(Noted)
-  {
-    std::uint64_t expc = c;
-    r->ctl.compare_exchange_strong(expc,
-                                   detail::ctl_with(c, 0, detail::kReqDoneEmpty),
-                                   std::memory_order_acq_rel,
-                                   std::memory_order_acquire);
-  }
+    requires(Noted);
 
-  const unsigned order_;
-  const std::uint64_t n_;
-  const std::uint64_t ring_size_;
-  const unsigned idx_bits_;
-  const std::uint64_t idx_mask_;
-  const std::int64_t threshold_init_;
-  const bool remap_;
+  const ring::Geometry geo_;
+  const ring::Remap remap_;
   const bool portable_consume_;
   RingRequest* const reqs_;
   const bool is_fq_;
 
   alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> head_{0};
   alignas(detail::kNoFalseSharing) std::atomic<std::uint64_t> tail_{0};
-  alignas(detail::kNoFalseSharing) std::atomic<std::int64_t> threshold_{-1};
+  alignas(detail::kNoFalseSharing) ring::ScqThreshold threshold_;
   alignas(detail::kNoFalseSharing) Entry* entries_ = nullptr;
 };
 
 using ScqRing = ScqRingT<false>;
 using WcqRing = ScqRingT<true>;
+// LSCQ's segment value ring: plain SCQ plus close()/drain_idx().
+using FinalScqRing = ScqRingT<false, true>;
 
 }  // namespace wcq

@@ -32,7 +32,7 @@
 #include "wcq/handle.hpp"
 #include "wcq/mem.hpp"
 #include "wcq/options.hpp"
-#include "wcq/scq_ring.hpp"
+#include "wcq/ring_noted.hpp"  // ScqRingT + the Noted helping layer
 
 namespace wcq {
 

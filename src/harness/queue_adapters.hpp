@@ -5,22 +5,25 @@
 // no per-queue Config plumbing here; wcq::options configures every
 // backend uniformly.
 //
-// Implemented for real: wCQ (+ portable build), SCQ, FAA, MSQ, LCRQ.
-// Aliased placeholders (name carries a '*'): the rest of the lineup is
-// mapped to the nearest implemented design so every figure binary
-// links and runs end-to-end — YMC* -> FAA (unbounded FAA array),
-// CCQ*/LSCQ* -> SCQ (bounded ring), CRTurn* -> MSQ (CAS list),
-// uwCQ* -> wCQ. Real implementations are ROADMAP open items: each
-// lands as a Backend satisfying wcq::concepts::Backend and replaces
-// its alias below.
+// Implemented for real: wCQ (+ portable build), the SCQ family on the
+// layered ring kernel (NCQ, CCQ, SCQ, LSCQ), FAA, MSQ, LCRQ. Aliased
+// placeholders (name carries a '*'): the rest of the lineup is mapped
+// to the nearest implemented design so every figure binary links and
+// runs end-to-end — YMC* -> FAA (unbounded FAA array), CRTurn* -> MSQ
+// (CAS list), uwCQ* -> wCQ. Real implementations are ROADMAP open
+// items: each lands as a Backend satisfying wcq::concepts::Backend
+// and replaces its alias below.
 #pragma once
 
 #include <cstdint>
 
+#include "wcq/ccq.hpp"
 #include "wcq/concepts.hpp"
 #include "wcq/faa_queue.hpp"
 #include "wcq/lcrq.hpp"
+#include "wcq/lscq.hpp"
 #include "wcq/msq.hpp"
+#include "wcq/ncq.hpp"
 #include "wcq/queue.hpp"
 #include "wcq/scq.hpp"
 #include "wcq/sharded.hpp"
@@ -59,8 +62,9 @@ inline constexpr char kWcqName[] = "wCQ";
 inline constexpr char kWcqPortableName[] = "wCQ-llsc";
 inline constexpr char kUwcqName[] = "uwCQ*";
 inline constexpr char kScqName[] = "SCQ";
-inline constexpr char kCcqName[] = "CCQ*";
-inline constexpr char kLscqName[] = "LSCQ*";
+inline constexpr char kNcqName[] = "NCQ";
+inline constexpr char kCcqName[] = "CCQ";
+inline constexpr char kLscqName[] = "LSCQ";
 inline constexpr char kFaaName[] = "FAA";
 inline constexpr char kYmcName[] = "YMC*";
 inline constexpr char kLcrqName[] = "LCRQ";
@@ -75,8 +79,9 @@ using WcqPortableAdapter = Lineup<WcqPortableQueue, kWcqPortableName>;
 using UwcqAdapter = Lineup<WcqQueue, kUwcqName>;
 
 using ScqAdapter = Lineup<ScqQueue, kScqName>;
-using CcqAdapter = Lineup<ScqQueue, kCcqName>;
-using LscqAdapter = Lineup<ScqQueue, kLscqName>;
+using NcqAdapter = Lineup<NcqQueue, kNcqName>;
+using CcqAdapter = Lineup<CcqQueue, kCcqName>;
+using LscqAdapter = Lineup<LscqQueue, kLscqName>;
 
 using FaaAdapter = Lineup<FaaQueue, kFaaName>;
 using YmcAdapter = Lineup<FaaQueue, kYmcName>;
@@ -99,6 +104,7 @@ static_assert(concepts::Queue<WcqAdapter>);
 static_assert(concepts::Queue<WcqPortableAdapter>);
 static_assert(concepts::Queue<UwcqAdapter>);
 static_assert(concepts::Queue<ScqAdapter>);
+static_assert(concepts::Queue<NcqAdapter>);
 static_assert(concepts::Queue<CcqAdapter>);
 static_assert(concepts::Queue<LscqAdapter>);
 static_assert(concepts::Queue<FaaAdapter>);
@@ -120,5 +126,6 @@ static_assert(concepts::ObservableQueue<WcqPortableAdapter>);
 static_assert(concepts::ReclaimingQueue<MsqAdapter>);
 static_assert(concepts::ReclaimingQueue<FaaAdapter>);
 static_assert(concepts::ReclaimingQueue<LcrqAdapter>);
+static_assert(concepts::ReclaimingQueue<LscqAdapter>);
 
 }  // namespace wcq::harness

@@ -191,7 +191,8 @@ inline bool selected(int argc, char** argv, const char* queue) {
 }
 
 // Invokes fn<Q>(tag) for each queue selected on the command line:
-// wcq, wcq-portable, scq, faa, msq, lcrq, sharded-wcq, sharded-lcrq.
+// wcq, wcq-portable, scq, ncq, ccq, lscq, faa, msq, lcrq, sharded-wcq,
+// sharded-lcrq.
 template <typename Fn>
 int for_selected_queues(int argc, char** argv, Fn fn) {
   bool matched = false;
@@ -205,6 +206,18 @@ int for_selected_queues(int argc, char** argv, Fn fn) {
   }
   if (selected(argc, argv, "scq")) {
     fn.template operator()<harness::ScqAdapter>("scq");
+    matched = true;
+  }
+  if (selected(argc, argv, "ncq")) {
+    fn.template operator()<harness::NcqAdapter>("ncq");
+    matched = true;
+  }
+  if (selected(argc, argv, "ccq")) {
+    fn.template operator()<harness::CcqAdapter>("ccq");
+    matched = true;
+  }
+  if (selected(argc, argv, "lscq")) {
+    fn.template operator()<harness::LscqAdapter>("lscq");
     matched = true;
   }
   if (selected(argc, argv, "faa")) {
@@ -230,7 +243,7 @@ int for_selected_queues(int argc, char** argv, Fn fn) {
   if (!matched) {
     std::fprintf(stderr,
                  "unknown queue filter; expected one of: wcq wcq-portable "
-                 "scq faa msq lcrq sharded-wcq sharded-lcrq\n");
+                 "scq ncq ccq lscq faa msq lcrq sharded-wcq sharded-lcrq\n");
     return 2;
   }
   return 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "queue_test_common.hpp"
+#include "wcq/mem.hpp"
 #include "wcq/queue.hpp"
 #include "wcq/wcq.hpp"
 
@@ -114,6 +115,85 @@ void test_churn_waves(const char* name) {
               name, kWaves * (kProducers + kConsumers), kMaxThreads);
 }
 
+// LSCQ churn over order-4 segments (16 values each): producers outrun
+// a segment every few hundred ops, so close(), the sterility drain,
+// and concurrent segment retirement all run under contention — under
+// TSan this is the race net for the whole finalization path. The
+// parked-segment count must stay under the SMR amnesty bound and the
+// teardown must return every segment to the counting allocator.
+void test_lscq_segment_retirement() {
+  constexpr unsigned kProducers = 3;
+  constexpr unsigned kConsumers = 3;
+  const std::uint64_t per_producer = test::env_ops(8000);
+  const std::uint64_t total = per_producer * kProducers;
+
+  const auto mem_before = mem::stats().live_bytes;
+  std::uint64_t retire_calls = 0;
+  {
+    harness::LscqAdapter q(
+        options{}.max_threads(kProducers + kConsumers).order(4));
+
+    std::vector<std::atomic<std::uint32_t>> seen(total);
+    for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+    std::atomic<std::uint64_t> consumed{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers + kConsumers);
+    for (unsigned p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        auto h = q.get_handle();
+        for (std::uint64_t i = 0; i < per_producer; ++i) {
+          const std::uint64_t v = p * per_producer + i;
+          while (!q.try_push(v, h)) std::this_thread::yield();
+        }
+      });
+    }
+    for (unsigned c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        auto h = q.get_handle();
+        while (consumed.load(std::memory_order_acquire) < total) {
+          const auto v = q.try_pop(h);
+          if (!v) {
+            std::this_thread::yield();
+            continue;
+          }
+          WCQ_CHECK(*v < total, "lscq: out-of-range value %llu",
+                    (unsigned long long)*v);
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    for (std::uint64_t v = 0; v < total; ++v) {
+      const std::uint32_t count = seen[v].load(std::memory_order_relaxed);
+      WCQ_CHECK(count == 1,
+                "lscq: value %llu seen %u times (lost/duplicated)",
+                (unsigned long long)v, count);
+    }
+
+    const auto st = q.smr_stats();
+    retire_calls = st.retire_calls;
+    WCQ_CHECK(st.retire_calls > 0,
+              "lscq churn never retired a segment (drain path untested)");
+    WCQ_CHECK(st.reclaimed_nodes > 0,
+              "lscq churn reclaimed nothing (%llu retires parked forever?)",
+              (unsigned long long)st.retire_calls);
+    // Bound: every handle slot can park at most threshold segments,
+    // plus one hazard-held segment per slot that scans could not free.
+    const std::uint64_t slots = kProducers + kConsumers;
+    WCQ_CHECK(st.retired_nodes <= slots * (2 * slots) + slots,
+              "parked segments exceed the amnesty bound: %llu",
+              (unsigned long long)st.retired_nodes);
+  }
+  WCQ_CHECK(mem::stats().live_bytes == mem_before,
+            "LSCQ leaked %llu bytes of segments",
+            (unsigned long long)(mem::stats().live_bytes - mem_before));
+  std::printf("  ok churn_lscq_retire (%llu segment retires)\n",
+              (unsigned long long)retire_calls);
+}
+
 // Genuine exhaustion (max_threads handles simultaneously live) must be
 // a reportable error — nullopt from try_get_handle, an exception from
 // get_handle — never an abort; and releasing one handle must make a
@@ -191,11 +271,16 @@ int main() {
   test_churn_waves<WcqPortableAdapter>("wcq-portable");
   // Stateless-handle backends must survive the same churn shape.
   test_churn_waves<ScqAdapter>("scq");
+  test_churn_waves<NcqAdapter>("ncq");
+  test_churn_waves<CcqAdapter>("ccq");
   // SMR-backed backends: recycling a handle slot also hands its
   // hazard/epoch strip and parked retire list to the next wave.
   test_churn_waves<MsqAdapter>("msq");
   test_churn_waves<FaaAdapter>("faa");
   test_churn_waves<LcrqAdapter>("lcrq");
+  // LSCQ: every wave also churns segments through close/drain/retire.
+  test_churn_waves<LscqAdapter>("lscq");
+  test_lscq_segment_retirement();
   // Sharded handles register with every shard at once; each wave must
   // recycle a full row of sub-handle slots, not just one.
   test_churn_waves<ShardedWcqAdapter>("sharded-wcq");

@@ -1,6 +1,7 @@
 // Empty-dequeue behaviour for every queue, and full-ring refusal for
-// the bounded ones (wCQ / SCQ; FAA, MSQ and LCRQ are unbounded by
-// design — LCRQ links a fresh ring instead of refusing).
+// the bounded ones (wCQ and the bounded SCQ family: NCQ, CCQ, SCQ;
+// FAA, MSQ, LCRQ and LSCQ are unbounded by design — the linked-ring
+// queues append a fresh ring/segment instead of refusing).
 #include "queue_test_common.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +19,12 @@ int main(int argc, char** argv) {
   }
   if (selected(argc, argv, "scq")) {
     test_full_ring<harness::ScqAdapter>("scq");
+  }
+  if (selected(argc, argv, "ncq")) {
+    test_full_ring<harness::NcqAdapter>("ncq");
+  }
+  if (selected(argc, argv, "ccq")) {
+    test_full_ring<harness::CcqAdapter>("ccq");
   }
   return 0;
 }

@@ -1,0 +1,269 @@
+// Differential fuzzing across the SCQ ring family. All five queues —
+// SCQ, NCQ, CCQ, LSCQ and wCQ — now sit on the same layered ring
+// kernel (ring_math / ring_entry / ring_policy, plus ring_noted for
+// wCQ), so they must be observationally identical FIFO queues; only
+// their progress guarantees and boundedness differ. Three checks:
+//
+//  1. Serial differential vs a std::deque model on a randomized op
+//     tape with fill/drain regime waves: every push accept/refuse and
+//     every pop value must match the model exactly. The four bounded
+//     members run a small ring (order 4, capacity 16) so the tape
+//     wraps the cycle counter many times and hits full episodes;
+//     LSCQ runs the unbounded variant (pushes may never refuse) with
+//     order-4 segments so the tape crosses segment boundaries.
+//  2. Tape agreement: one no-refusal tape (pending kept inside
+//     (0, capacity) by construction) replayed on all five queues must
+//     yield byte-identical pop traces.
+//  3. Concurrent fuzz per queue: threads each run a random push/pop
+//     mix over one queue; accounting must be exact (every accepted
+//     push popped exactly once, nothing invented) and each popping
+//     thread must see every pusher's values in monotone order.
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "queue_test_common.hpp"
+#include "wcq/queue.hpp"
+#include "wcq/wcq.hpp"
+
+namespace {
+
+using namespace wcq;
+
+// Deterministic splitmix64: the tape must be identical across queues
+// and across runs (failures reproduce).
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+// ---- 1. serial differential vs std::deque ----
+
+template <concepts::Queue Q>
+void diff_model(const char* name, unsigned order, bool bounded,
+                std::uint64_t ops) {
+  Q q(options{}.max_threads(2).order(order));
+  auto h = q.get_handle();
+  const std::uint64_t cap = std::uint64_t{1} << order;
+
+  std::deque<std::uint64_t> model;
+  Rng rng{0x5ca1ab1e0ddba11ull};
+  std::uint64_t next_value = 1;
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    // Regime waves: 256 push-heavy ops, then 256 pop-heavy, so the
+    // tape holds the ring near-full and near-empty in turn.
+    const bool push_heavy = ((i >> 8) & 1) == 0;
+    const unsigned push_pct = push_heavy ? 75 : 25;
+    if (rng.next() % 100 < push_pct) {
+      const std::uint64_t v = next_value++;
+      const bool ok = q.try_push(v, h);
+      const bool model_ok = !bounded || model.size() < cap;
+      WCQ_CHECK(ok == model_ok,
+                "%s: op %llu push(%llu) %s but model (size %zu/%llu) says %s",
+                name, (unsigned long long)i, (unsigned long long)v,
+                ok ? "accepted" : "refused", model.size(),
+                (unsigned long long)cap, model_ok ? "accept" : "refuse");
+      if (ok) model.push_back(v);
+    } else {
+      const auto v = q.try_pop(h);
+      if (model.empty()) {
+        WCQ_CHECK(!v.has_value(), "%s: op %llu popped %llu from empty model",
+                  name, (unsigned long long)i, (unsigned long long)*v);
+      } else {
+        WCQ_CHECK(v.has_value(), "%s: op %llu empty but model holds %zu",
+                  name, (unsigned long long)i, model.size());
+        WCQ_CHECK(*v == model.front(), "%s: op %llu popped %llu want %llu",
+                  name, (unsigned long long)i, (unsigned long long)*v,
+                  (unsigned long long)model.front());
+        model.pop_front();
+      }
+    }
+  }
+  // Drain: the survivors must come out in model order, then empty.
+  while (!model.empty()) {
+    const auto v = q.try_pop(h);
+    WCQ_CHECK(v && *v == model.front(), "%s: drain diverged from model",
+              name);
+    model.pop_front();
+  }
+  WCQ_CHECK(!q.try_pop(h).has_value(), "%s: queue outlived its model", name);
+  std::printf("  ok diff_model        %s\n", name);
+}
+
+// ---- 2. one tape, five queues, identical traces ----
+
+struct TapeOp {
+  bool push;
+};
+
+template <concepts::Queue Q>
+std::vector<std::uint64_t> replay(const char* name, unsigned order,
+                                  const std::vector<TapeOp>& tape) {
+  Q q(options{}.max_threads(2).order(order));
+  auto h = q.get_handle();
+  std::vector<std::uint64_t> popped;
+  std::uint64_t next_value = 1;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    if (tape[i].push) {
+      WCQ_CHECK(q.try_push(next_value, h),
+                "%s: no-refusal tape push %llu refused at op %zu", name,
+                (unsigned long long)next_value, i);
+      ++next_value;
+    } else {
+      const auto v = q.try_pop(h);
+      WCQ_CHECK(v.has_value(), "%s: no-refusal tape pop empty at op %zu",
+                name, i);
+      popped.push_back(*v);
+    }
+  }
+  return popped;
+}
+
+void test_tape_agreement() {
+  // Pending stays inside (0, cap): pushes never refuse on a
+  // capacity-16 ring and pops never hit empty, so every queue must
+  // produce the same trace. Values still wrap the order-4 cycle
+  // counter hundreds of times and cross several LSCQ segments.
+  constexpr unsigned kOrder = 4;
+  const std::uint64_t cap = std::uint64_t{1} << kOrder;
+  const std::uint64_t ops = test::env_ops(20000);
+  Rng rng{0xfee1900dull};
+  std::vector<TapeOp> tape;
+  tape.reserve(ops);
+  std::uint64_t pending = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    bool push = rng.next() % 2 == 0;
+    if (pending == 0) push = true;
+    if (pending == cap) push = false;
+    tape.push_back(TapeOp{push});
+    pending = push ? pending + 1 : pending - 1;
+  }
+
+  const auto scq = replay<harness::ScqAdapter>("scq", kOrder, tape);
+  const auto ncq = replay<harness::NcqAdapter>("ncq", kOrder, tape);
+  const auto ccq = replay<harness::CcqAdapter>("ccq", kOrder, tape);
+  const auto lscq = replay<harness::LscqAdapter>("lscq", kOrder, tape);
+  const auto wcq_t = replay<harness::WcqAdapter>("wcq", kOrder, tape);
+
+  WCQ_CHECK(ncq == scq, "ncq trace diverged from scq on a shared tape");
+  WCQ_CHECK(ccq == scq, "ccq trace diverged from scq on a shared tape");
+  WCQ_CHECK(lscq == scq, "lscq trace diverged from scq on a shared tape");
+  WCQ_CHECK(wcq_t == scq, "wcq trace diverged from scq on a shared tape");
+  std::printf("  ok tape_agreement    (%zu ops, %zu pops, 5 queues)\n",
+              tape.size(), scq.size());
+}
+
+// ---- 3. concurrent randomized push/pop mix ----
+
+template <concepts::Queue Q>
+void fuzz_concurrent(const char* name, unsigned order) {
+  constexpr unsigned kThreads = 4;
+  const std::uint64_t per_thread = test::env_ops(12000);
+  const std::uint64_t value_space = kThreads * per_thread;
+
+  Q q(options{}.max_threads(kThreads + 1).order(order));
+  std::vector<std::atomic<std::uint32_t>> seen(value_space);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::vector<std::uint64_t> pushed(kThreads, 0);
+  std::atomic<bool> order_ok{true};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto h = q.get_handle();
+      Rng rng{0xdecafbad + t};
+      std::uint64_t seq = 0;
+      std::vector<std::uint64_t> last(kThreads, 0);
+      std::vector<bool> any(kThreads, false);
+      for (std::uint64_t i = 0; i < per_thread * 2; ++i) {
+        if (rng.next() % 2 == 0 && seq < per_thread) {
+          // A refused push (bounded queue momentarily full) is simply
+          // not retried; accounting only covers accepted pushes.
+          if (q.try_push(t * per_thread + seq, h)) ++seq;
+        } else if (const auto v = q.try_pop(h)) {
+          WCQ_CHECK(*v < value_space, "%s: invented value %llu", name,
+                    (unsigned long long)*v);
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t p = *v / per_thread;
+          const std::uint64_t s = *v % per_thread;
+          if (any[p] && s <= last[p]) {
+            order_ok.store(false, std::memory_order_relaxed);
+          }
+          last[p] = s;
+          any[p] = true;
+        }
+      }
+      pushed[t] = seq;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Drain the survivors on the main thread, then audit: every value a
+  // thread reports as pushed must have been seen exactly once, and no
+  // unpushed value may appear at all.
+  {
+    auto h = q.get_handle();
+    while (const auto v = q.try_pop(h)) {
+      WCQ_CHECK(*v < value_space, "%s: invented value %llu in drain", name,
+                (unsigned long long)*v);
+      seen[*v].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t total_pushed = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    total_pushed += pushed[t];
+    for (std::uint64_t s = 0; s < per_thread; ++s) {
+      const std::uint64_t v = t * per_thread + s;
+      const std::uint32_t count = seen[v].load(std::memory_order_relaxed);
+      const std::uint32_t want = s < pushed[t] ? 1 : 0;
+      WCQ_CHECK(count == want, "%s: value %llu seen %u times, want %u",
+                name, (unsigned long long)v, count, want);
+    }
+  }
+  WCQ_CHECK(order_ok.load(), "%s: per-producer FIFO order violated", name);
+  std::printf("  ok fuzz_concurrent   %s (%llu of %llu pushes accepted)\n",
+              name, (unsigned long long)total_pushed,
+              (unsigned long long)value_space);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t ops = test::env_ops(60000);
+  // Serial model differential: bounded members on a tiny ring, LSCQ
+  // unbounded across segments.
+  if (test::selected(argc, argv, "scq")) {
+    diff_model<harness::ScqAdapter>("scq", 4, true, ops);
+    fuzz_concurrent<harness::ScqAdapter>("scq", 6);
+  }
+  if (test::selected(argc, argv, "ncq")) {
+    diff_model<harness::NcqAdapter>("ncq", 4, true, ops);
+    fuzz_concurrent<harness::NcqAdapter>("ncq", 6);
+  }
+  if (test::selected(argc, argv, "ccq")) {
+    diff_model<harness::CcqAdapter>("ccq", 4, true, ops);
+    fuzz_concurrent<harness::CcqAdapter>("ccq", 6);
+  }
+  if (test::selected(argc, argv, "wcq")) {
+    diff_model<harness::WcqAdapter>("wcq", 4, true, ops);
+    fuzz_concurrent<harness::WcqAdapter>("wcq", 6);
+  }
+  if (test::selected(argc, argv, "lscq")) {
+    diff_model<harness::LscqAdapter>("lscq", 4, false, ops);
+    fuzz_concurrent<harness::LscqAdapter>("lscq", 4);
+  }
+  if (argc < 2 || test::selected(argc, argv, "family")) {
+    test_tape_agreement();
+  }
+  return 0;
+}
